@@ -1,0 +1,82 @@
+"""Supporting performance benchmarks (not a paper figure).
+
+Throughput of the substrate layers every ChatIYP query crosses: Cypher
+point lookups, traversals and aggregations on the medium IYP graph, vector
+search over the description corpus, and the full pipeline ask.
+"""
+
+import pytest
+
+from repro.cypher import CypherEngine
+from repro.rag import VectorContextRetriever
+
+
+@pytest.fixture(scope="module")
+def engine(chatiyp_medium):
+    return CypherEngine(chatiyp_medium.store)
+
+
+@pytest.fixture(scope="module")
+def vector(chatiyp_medium):
+    return VectorContextRetriever(chatiyp_medium.store, top_k=8)
+
+
+def test_perf_point_lookup(benchmark, engine):
+    result = benchmark(
+        engine.run, "MATCH (a:AS {asn: 2497}) RETURN a.name"
+    )
+    assert len(result) == 1
+
+
+def test_perf_one_hop_traversal(benchmark, engine):
+    result = benchmark(
+        engine.run,
+        "MATCH (:AS {asn: 2497})-[:ORIGINATE]->(p:Prefix) RETURN p.prefix",
+    )
+    assert len(result) >= 1
+
+
+def test_perf_two_hop_traversal(benchmark, engine):
+    result = benchmark(
+        engine.run,
+        "MATCH (:AS {asn: 2497})-[:PEERS_WITH]-(b:AS)-[:COUNTRY]->(c:Country) "
+        "RETURN DISTINCT c.country_code",
+    )
+    assert len(result) >= 1
+
+
+def test_perf_grouped_aggregation(benchmark, engine):
+    result = benchmark(
+        engine.run,
+        "MATCH (a:AS)-[:COUNTRY]->(c:Country) "
+        "RETURN c.country_code AS cc, count(a) AS n ORDER BY n DESC LIMIT 10",
+    )
+    assert len(result) == 10
+
+
+def test_perf_var_length_expansion(benchmark, engine):
+    result = benchmark(
+        engine.run,
+        "MATCH (:AS {asn: 2497})-[:DEPENDS_ON*1..2]->(t:AS) "
+        "RETURN count(DISTINCT t) AS n",
+    )
+    assert result.single()["n"] >= 1
+
+
+def test_perf_query_parse_cached(benchmark, engine):
+    # Repeated execution of identical text hits the AST cache (the RAG hot path).
+    query = "MATCH (a:AS) WHERE a.asn > 100000 RETURN count(a)"
+    engine.run(query)
+    benchmark(engine.run, query)
+
+
+def test_perf_vector_search(benchmark, vector):
+    result = benchmark(vector.retrieve, "Japanese networks at internet exchanges")
+    assert result.nodes
+
+
+def test_perf_full_pipeline_ask(benchmark, chatiyp_medium):
+    response = benchmark(
+        chatiyp_medium.ask, "Which country is AS15169 registered in?"
+    )
+    assert response.answer

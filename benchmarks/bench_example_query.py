@@ -1,0 +1,34 @@
+"""§1 example — the motivating query, end to end.
+
+"What is the percentage of Japan's population in AS2497?" must translate
+into the POPULATION-edge Cypher query of the paper's introduction and
+answer with the anchored 5.3 %.  Benchmarks the full ask() latency
+(translation + execution + reranking + generation).
+"""
+
+from repro.core import ChatIYP, ChatIYPConfig
+from repro.iyp import AS2497_JP_PERCENT
+
+QUESTION = "What is the percentage of Japan's population in AS2497?"
+
+
+def test_paper_example_query(benchmark, chatiyp_medium):
+    # A zero-noise backbone isolates pipeline latency from error-injection
+    # randomness (the stochastic behaviour is measured by the figure benches).
+    bot = ChatIYP(
+        dataset=chatiyp_medium.dataset,
+        config=ChatIYPConfig(dataset_size="medium", error_base=0.0, error_slope=0.0),
+    )
+
+    response = benchmark(bot.ask, QUESTION)
+
+    print()
+    print(f"Q: {QUESTION}")
+    print(f"A: {response.answer}")
+    print(f"Cypher: {response.cypher}")
+
+    assert str(AS2497_JP_PERCENT) in response.answer
+    assert "POPULATION" in response.cypher
+    assert "2497" in response.cypher
+    assert "JP" in response.cypher
+    assert response.retrieval_source == "text2cypher"

@@ -1,0 +1,69 @@
+"""Extension — sub-question decomposition on the hard compound slice.
+
+The poster's conclusion says hard multi-hop questions "open the door for
+further future research"; this bench measures the obvious next step
+implemented in :mod:`repro.rag.decompose`: decompose compound questions
+into reliable single-relation sub-questions with self-verified retries,
+then combine structured results.
+
+Asserts that decomposition improves mean G-Eval on the compound templates
+it targets, without regressing the simple slices (passthrough).
+"""
+
+import pytest
+
+from repro.core import ChatIYP, ChatIYPConfig
+from repro.eval import EvaluationHarness
+
+COMPOUND_TEMPLATES = (
+    "peers_population",
+    "orgs_of_tagged_ases",
+    "members_of_ixps_in_country",
+    "ixp_members_depending_on_as",
+)
+
+
+@pytest.fixture(scope="module")
+def compound_questions(cyphereval_questions):
+    return [q for q in cyphereval_questions if q.template in COMPOUND_TEMPLATES]
+
+
+@pytest.fixture(scope="module")
+def easy_questions(cyphereval_questions):
+    return [q for q in cyphereval_questions if q.difficulty == "easy"][:40]
+
+
+def test_ext_decomposition_improves_compound_questions(
+    benchmark, chatiyp_medium, compound_questions, easy_questions
+):
+    baseline = EvaluationHarness(chatiyp_medium, compound_questions).run()
+
+    decomposing_bot = ChatIYP(
+        dataset=chatiyp_medium.dataset,
+        config=ChatIYPConfig(dataset_size="medium", use_decomposition=True),
+    )
+
+    def run_decomposed():
+        return EvaluationHarness(decomposing_bot, compound_questions).run()
+
+    improved = benchmark.pedantic(run_decomposed, rounds=1, iterations=1)
+
+    easy_baseline = EvaluationHarness(chatiyp_medium, easy_questions).run()
+    easy_decomposed = EvaluationHarness(decomposing_bot, easy_questions).run()
+
+    print()
+    print("Sub-question decomposition on the compound slice "
+          f"({len(compound_questions)} questions):")
+    print(f"  baseline   mean G-Eval: {baseline.mean('geval'):.3f} "
+          f"(>0.75: {baseline.fraction_above('geval', 0.75):.1%})")
+    print(f"  decomposed mean G-Eval: {improved.mean('geval'):.3f} "
+          f"(>0.75: {improved.fraction_above('geval', 0.75):.1%})")
+    print(f"Easy-slice passthrough: baseline {easy_baseline.mean('geval'):.3f} "
+          f"vs decomposed {easy_decomposed.mean('geval'):.3f}")
+
+    assert improved.mean("geval") > baseline.mean("geval") + 0.05
+    assert improved.fraction_above("geval", 0.75) > baseline.fraction_above("geval", 0.75)
+    # Simple questions pass through the unchanged pipeline.
+    assert easy_decomposed.mean("geval") == pytest.approx(
+        easy_baseline.mean("geval"), abs=1e-9
+    )

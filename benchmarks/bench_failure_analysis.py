@@ -1,0 +1,36 @@
+"""Supporting analysis — error taxonomy and improvement headroom.
+
+The poster's evaluation "demonstrates solid performance on simple queries,
+as well as directions for improvement".  This bench regenerates the
+direction-finding analysis: a failure taxonomy over the full run and the
+projected overall G-Eval if each failure class were eliminated.
+"""
+
+from repro.eval import failure_breakdown, improvement_headroom, render_failure_table
+
+
+def test_failure_taxonomy(benchmark, full_report):
+    rows = benchmark(failure_breakdown, full_report)
+
+    print()
+    print(render_failure_table(full_report))
+    print()
+    print("Improvement headroom (projected overall mean G-Eval if fixed):")
+    baseline = full_report.mean("geval")
+    print(f"  current baseline: {baseline:.3f}")
+    for name, projected in sorted(
+        improvement_headroom(full_report).items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  fix {name:28s} -> {projected:.3f} (+{projected - baseline:.3f})")
+
+    by_name = {row.name: row for row in rows}
+    clean = by_name["clean_translation"]
+    # Clean translations dominate and score near-perfect; every failure
+    # class scores materially worse — the error model is doing the damage,
+    # exactly as the poster's degradation analysis implies.
+    assert clean.share > 0.4
+    assert clean.mean_geval > 0.8
+    for name, row in by_name.items():
+        if name == "clean_translation" or row.count < 5:
+            continue
+        assert row.mean_geval < clean.mean_geval - 0.3, name

@@ -1,0 +1,36 @@
+"""Figure 2a — comparison of metric score distributions over CypherEval.
+
+Regenerates the left panel of the poster's Figure 2: the distribution of
+BLEU, ROUGE, BERTScore and G-Eval scores over all evaluated answers.  The
+paper's qualitative claims, asserted here:
+
+* BLEU sits low and compressed (over-penalises phrasing mismatches);
+* ROUGE is moderate;
+* BERTScore crowds a narrow high band (ceiling effect);
+* G-Eval is strongly bimodal, separating good from bad answers.
+"""
+
+from repro.eval import METRIC_KEYS, bimodality_coefficient, figure_2a_table, summary
+
+
+def test_fig2a_metric_distributions(benchmark, full_report):
+    def compute():
+        return {metric: summary(full_report.scores(metric)) for metric in METRIC_KEYS}
+
+    stats = benchmark(compute)
+
+    print()
+    print(figure_2a_table(full_report))
+
+    # BLEU low & compressed vs ROUGE moderate.
+    assert stats["bleu"].median < stats["rouge1"].median
+    assert stats["bleu"].median < 0.3
+    # BERTScore ceiling effect: high median, tight spread, no discrimination.
+    assert stats["bertscore"].median > 0.8
+    assert stats["bertscore"].std < 0.15
+    assert stats["bertscore"].p10 > 0.6
+    # G-Eval bimodality gives the clearest good/bad separation.
+    geval_bc = bimodality_coefficient(full_report.scores("geval"))
+    assert geval_bc > 0.555, "G-Eval should be bimodal (Sarle BC > 0.555)"
+    for metric in ("rouge1", "rougeL", "bertscore"):
+        assert geval_bc > bimodality_coefficient(full_report.scores(metric))

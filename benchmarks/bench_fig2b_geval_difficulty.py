@@ -1,0 +1,39 @@
+"""Figure 2b — G-Eval scores by difficulty and domain.
+
+Regenerates the right panel of the poster's Figure 2.  Asserted claims:
+
+* easy prompts: over half of responses score above 75 %;
+* performance degrades monotonically with prompt complexity
+  (easy > medium > hard);
+* no consistent general-vs-technical gap — structural complexity, not
+  domain specificity, is the challenge.
+"""
+
+from repro.eval import figure_2b_table
+
+
+def test_fig2b_geval_by_difficulty(benchmark, full_report):
+    def compute():
+        rows = {}
+        for difficulty in ("easy", "medium", "hard"):
+            sub = full_report.filter(difficulty=difficulty)
+            rows[difficulty] = {
+                "n": len(sub),
+                "mean": sub.mean("geval"),
+                "above75": sub.fraction_above("geval", 0.75),
+            }
+        return rows
+
+    rows = benchmark(compute)
+
+    print()
+    print(figure_2b_table(full_report))
+
+    # "ChatIYP performs well on easy prompts, with over half of responses
+    #  scoring above 75%."
+    assert rows["easy"]["above75"] > 0.5
+    # "Performance degrades with prompt complexity."
+    assert rows["easy"]["mean"] > rows["medium"]["mean"] > rows["hard"]["mean"]
+    assert rows["easy"]["above75"] > rows["medium"]["above75"] > rows["hard"]["above75"]
+    # Hard questions (multi-hop reasoning) are the clear failure mode.
+    assert rows["hard"]["above75"] < 0.4

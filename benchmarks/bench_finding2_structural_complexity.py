@@ -1,0 +1,42 @@
+"""Finding 2 — structural complexity, not domain specificity, drives failure.
+
+The poster: "no consistent performance gap emerges between general and
+technical prompts, suggesting that structural complexity, not domain
+specificity, poses the greatest challenge."  We regenerate the analysis:
+
+* mean G-Eval stratified by the gold query's hop count (must degrade);
+* the general-vs-technical gap per difficulty tier (must be small and of
+  inconsistent sign, i.e. much weaker than the difficulty effect).
+"""
+
+from repro.eval import finding2_table
+
+
+def test_finding2_structure_vs_domain(benchmark, full_report):
+    def compute():
+        gaps = {}
+        for difficulty in ("easy", "medium", "hard"):
+            general = full_report.filter(difficulty=difficulty, domain="general")
+            technical = full_report.filter(difficulty=difficulty, domain="technical")
+            gaps[difficulty] = general.mean("geval") - technical.mean("geval")
+        difficulty_effect = (
+            full_report.filter(difficulty="easy").mean("geval")
+            - full_report.filter(difficulty="hard").mean("geval")
+        )
+        return gaps, difficulty_effect
+
+    gaps, difficulty_effect = benchmark(compute)
+
+    print()
+    print(finding2_table(full_report))
+
+    # The difficulty (structural) effect dominates any domain gap.
+    assert difficulty_effect > 0.25
+    for difficulty, gap in gaps.items():
+        assert abs(gap) < difficulty_effect / 2, (
+            f"domain gap at {difficulty} ({gap:+.3f}) should be small next to "
+            f"the structural effect ({difficulty_effect:.3f})"
+        )
+    # "No consistent gap": the sign flips across tiers OR stays negligible.
+    signs = {gap > 0 for gap in gaps.values() if abs(gap) > 0.01}
+    assert len(signs) != 1 or all(abs(gap) < 0.12 for gap in gaps.values())

@@ -1,0 +1,42 @@
+"""Paraphrase penalty — Finding 1's mechanism, isolated.
+
+Every candidate scored here is a *semantically perfect* restatement of the
+gold answer (same facts, independently seeded phrasing).  Whatever a
+metric docks is pure phrasing penalty:
+
+* BLEU loses the most ("overly penalized by minor phrasing mismatches,
+  despite semantic correctness");
+* ROUGE loses less ("better accommodates reworded answers");
+* BERTScore barely moves (semantic similarity — and the ceiling);
+* G-Eval is essentially unaffected (fact-grounded).
+"""
+
+from repro.eval import METRIC_KEYS
+from repro.eval.paraphrase import paraphrase_penalty
+
+
+def test_paraphrase_penalty(benchmark, chatiyp_medium, cyphereval_questions):
+    result = benchmark.pedantic(
+        paraphrase_penalty,
+        args=(chatiyp_medium.store, cyphereval_questions, chatiyp_medium.llm),
+        kwargs={"limit": 200},
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(f"Paraphrase penalty over {result.pairs} gold-vs-gold pairs "
+          "(all candidates semantically perfect):")
+    header = f"{'metric':10s} {'mean score':>11s} {'penalty':>8s}"
+    print(header)
+    print("-" * len(header))
+    for metric in METRIC_KEYS:
+        print(f"{metric:10s} {result.mean_scores[metric]:11.3f} "
+              f"{result.penalty(metric):8.3f}")
+
+    # The ordering the poster's Finding 1 describes.
+    assert result.penalty("bleu") > result.penalty("rouge1")
+    assert result.penalty("rouge1") > result.penalty("bertscore")
+    assert result.penalty("bertscore") > result.penalty("geval")
+    # Absolute levels: BLEU docks perfect answers heavily; G-Eval barely.
+    assert result.penalty("bleu") > 0.4
+    assert result.penalty("geval") < 0.1

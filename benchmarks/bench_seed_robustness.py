@@ -1,0 +1,59 @@
+"""Reproduction robustness — the figures' shapes must not depend on seeds.
+
+Every headline shape of the reproduction (Figure 2b's difficulty ordering,
+Figure 2a's metric ordering, G-Eval bimodality) is re-checked under three
+different backbone seeds.  If a shape only held for the default seed, it
+would be an artefact of one RNG stream rather than a property of the
+system; this bench guards against that.
+"""
+
+from repro.core import ChatIYP, ChatIYPConfig
+from repro.eval import EvaluationHarness, bimodality_coefficient, summary
+
+SEEDS = (0, 1, 2)
+
+
+def _shape_for_seed(dataset, questions, seed):
+    bot = ChatIYP(dataset=dataset, config=ChatIYPConfig(dataset_size="medium", seed=seed))
+    report = EvaluationHarness(bot, questions).run()
+    return {
+        "easy": report.filter(difficulty="easy").fraction_above("geval", 0.75),
+        "medium": report.filter(difficulty="medium").fraction_above("geval", 0.75),
+        "hard": report.filter(difficulty="hard").fraction_above("geval", 0.75),
+        "bleu_median": summary(report.scores("bleu")).median,
+        "bertscore_std": summary(report.scores("bertscore")).std,
+        "geval_bc": bimodality_coefficient(report.scores("geval")),
+    }
+
+
+def test_shapes_stable_across_seeds(benchmark, chatiyp_medium, cyphereval_questions):
+    questions = cyphereval_questions[::3]  # a third of the benchmark per seed
+
+    shapes = {}
+    for seed in SEEDS[:-1]:
+        shapes[seed] = _shape_for_seed(chatiyp_medium.dataset, questions, seed)
+    shapes[SEEDS[-1]] = benchmark.pedantic(
+        _shape_for_seed, args=(chatiyp_medium.dataset, questions, SEEDS[-1]),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(f"Shape stability over {len(questions)} questions x {len(SEEDS)} seeds:")
+    header = f"{'seed':>4s} {'easy>0.75':>10s} {'med>0.75':>9s} {'hard>0.75':>10s} {'BLEU med':>9s} {'BS std':>7s} {'G-Eval BC':>10s}"
+    print(header)
+    print("-" * len(header))
+    for seed, shape in shapes.items():
+        print(
+            f"{seed:4d} {shape['easy']:10.1%} {shape['medium']:9.1%} "
+            f"{shape['hard']:10.1%} {shape['bleu_median']:9.3f} "
+            f"{shape['bertscore_std']:7.3f} {shape['geval_bc']:10.3f}"
+        )
+
+    for seed, shape in shapes.items():
+        # Figure 2b: monotone difficulty degradation, easy over one half.
+        assert shape["easy"] > 0.5, f"seed {seed}"
+        assert shape["easy"] > shape["medium"] > shape["hard"], f"seed {seed}"
+        # Figure 2a: BLEU compressed low, BERTScore ceiling, G-Eval bimodal.
+        assert shape["bleu_median"] < 0.3, f"seed {seed}"
+        assert shape["bertscore_std"] < 0.15, f"seed {seed}"
+        assert shape["geval_bc"] > 0.555, f"seed {seed}"

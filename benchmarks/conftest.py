@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+The expensive artefacts — the medium synthetic IYP graph, the 350-question
+CypherEval benchmark, and the fully-scored evaluation report — are built
+once per session and shared by every figure benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ChatIYP, ChatIYPConfig
+from repro.eval import EvaluationHarness, annotate_report, build_cyphereval
+
+
+@pytest.fixture(scope="session")
+def chatiyp_medium():
+    """ChatIYP over the medium graph with the calibrated default backbone."""
+    return ChatIYP(config=ChatIYPConfig(dataset_size="medium"))
+
+
+@pytest.fixture(scope="session")
+def cyphereval_questions(chatiyp_medium):
+    return build_cyphereval(chatiyp_medium.dataset)
+
+
+@pytest.fixture(scope="session")
+def harness(chatiyp_medium, cyphereval_questions):
+    return EvaluationHarness(chatiyp_medium, cyphereval_questions)
+
+
+@pytest.fixture(scope="session")
+def full_report(harness):
+    """The complete scored + human-annotated evaluation report."""
+    report = harness.run()
+    annotate_report(report)
+    return report

@@ -1,0 +1,46 @@
+"""Conversation demo: multi-turn follow-ups through a ChatSession.
+
+Run::
+
+    python examples/conversation.py
+
+The public ChatIYP application is conversational.  This example drives a
+scripted dialogue through :class:`repro.core.ChatSession`, which resolves
+pronouns ("how many prefixes does *it* originate?") and elliptical
+follow-ups ("and AS15169?") against recent turns before querying the
+pipeline — and shows the resolved question for transparency.
+"""
+
+from repro import ChatIYP, ChatIYPConfig
+from repro.core import ChatSession
+
+DIALOGUE = [
+    "Which country is AS2497 registered in?",
+    "How many prefixes does it originate?",
+    "What are its tags?",
+    "And AS15169?",                      # re-instantiates the tag question
+    "How many ASes are registered in Japan?",
+    "And Germany?",                      # country swap
+]
+
+
+def main() -> None:
+    config = ChatIYPConfig(dataset_size="small", error_base=0.0, error_slope=0.0)
+    session = ChatSession(ChatIYP(config=config))
+
+    for question in DIALOGUE:
+        response = session.ask(question)
+        resolved = response.diagnostics.get("resolved_question")
+        print(f"user   > {question}")
+        if resolved:
+            print(f"         (resolved: {resolved})")
+        print(f"chatiyp> {response.answer}")
+        if response.cypher:
+            print(f"         cypher: {response.cypher}")
+        print()
+
+    print(f"Turns recorded in session history: {len(session.history)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Mini evaluation run: regenerate the paper's Figure 2 on a small graph.
+
+Run::
+
+    python examples/evaluation_run.py [per_template]
+
+Builds the CypherEval-style benchmark over the small synthetic IYP graph,
+runs ChatIYP over every question, scores answers with BLEU / ROUGE /
+BERTScore / G-Eval, and prints the Figure 2a / 2b tables plus the two
+findings.  (The full-scale reproduction lives in ``benchmarks/``.)
+"""
+
+import sys
+
+from repro import ChatIYP, ChatIYPConfig
+from repro.eval import (
+    EvaluationHarness,
+    annotate_report,
+    build_cyphereval,
+    dataset_summary,
+    figure_2a_table,
+    figure_2b_table,
+    finding1_table,
+    finding2_table,
+)
+
+
+def main() -> None:
+    per_template = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    bot = ChatIYP(config=ChatIYPConfig(dataset_size="small"))
+    questions = build_cyphereval(bot.dataset, per_template=per_template)
+    print(f"Benchmark: {dataset_summary(questions)}\n")
+
+    harness = EvaluationHarness(bot, questions)
+    report = harness.run()
+    annotate_report(report)
+
+    print(figure_2a_table(report, with_histograms=False))
+    print()
+    print(figure_2b_table(report))
+    print()
+    print(finding1_table(report))
+    print()
+    print(finding2_table(report))
+
+
+if __name__ == "__main__":
+    main()

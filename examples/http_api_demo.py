@@ -1,0 +1,58 @@
+"""HTTP API demo: run the ChatIYP web service and query it over the wire.
+
+Run::
+
+    python examples/http_api_demo.py
+
+Starts the JSON API (the paper's public web application, §4) on an
+ephemeral port, exercises every endpoint with stdlib ``urllib``, prints the
+responses, and shuts the server down — a self-contained integration demo.
+For a long-running server use ``python -m repro.server --serve``.
+"""
+
+import json
+import urllib.request
+
+from repro import ChatIYP, ChatIYPConfig
+from repro.server import start_background
+
+
+def fetch(url: str, payload: dict | None = None) -> dict:
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    bot = ChatIYP(config=ChatIYPConfig(dataset_size="small"))
+    server, port = start_background(bot)
+    base = f"http://127.0.0.1:{port}"
+    print(f"ChatIYP API listening on {base}\n")
+
+    try:
+        health = fetch(f"{base}/health")
+        print("GET /health ->", json.dumps(health, indent=2), "\n")
+
+        schema = fetch(f"{base}/schema")
+        print("GET /schema -> (first lines)")
+        print("\n".join(schema["schema"].splitlines()[:6]), "\n")
+
+        for question in (
+            "What is the percentage of Japan's population in AS2497?",
+            "Which IXPs operate in Germany?",
+        ):
+            answer = fetch(f"{base}/ask", {"question": question})
+            print(f"POST /ask {question!r}")
+            print(f"  answer : {answer['answer']}")
+            print(f"  cypher : {answer['cypher']}")
+            print(f"  source : {answer['retrieval_source']}\n")
+    finally:
+        server.shutdown()
+        print("Server stopped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: ask ChatIYP natural-language questions about the IYP graph.
+
+Run::
+
+    python examples/quickstart.py
+
+Builds a small synthetic Internet Yellow Pages graph, assembles the full
+RAG pipeline (text-to-Cypher retrieval, vector fallback, LLM re-ranking,
+answer generation), and answers the paper's §1 example plus a few more —
+printing, for transparency, the generated Cypher next to every answer.
+"""
+
+from repro import ChatIYP, ChatIYPConfig
+from repro.core import render_response
+
+QUESTIONS = [
+    # The paper's introductory example.
+    "What is the percentage of Japan's population in AS2497?",
+    # Easy lookups.
+    "Which country is AS15169 registered in?",
+    "What organization manages AS13335?",
+    "How many prefixes does AS2497 originate?",
+    # Aggregation.
+    "How many ASes are registered in Japan?",
+    # A question the symbolic path cannot translate: the pipeline falls
+    # back to semantic (vector) retrieval over node descriptions.
+    "Tell me something interesting about Japanese infrastructure",
+]
+
+
+def main() -> None:
+    print("Building ChatIYP over a small synthetic IYP graph...")
+    # error_base/error_slope = 0 disables the simulated LLM's calibrated
+    # translation noise so the walkthrough is deterministic; the defaults
+    # reproduce realistic GPT-3.5-level behaviour (see benchmarks/).
+    bot = ChatIYP(
+        config=ChatIYPConfig(dataset_size="small", error_base=0.0, error_slope=0.0)
+    )
+    store = bot.store
+    print(f"Graph ready: {store.node_count} nodes, {store.relationship_count} edges\n")
+
+    for question in QUESTIONS:
+        response = bot.ask(question)
+        print(render_response(response))
+        print("-" * 72)
+
+
+if __name__ == "__main__":
+    main()

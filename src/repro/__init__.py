@@ -1,0 +1,30 @@
+"""ChatIYP reproduction: natural-language access to the Internet Yellow Pages.
+
+Quickstart::
+
+    from repro import ChatIYP
+
+    bot = ChatIYP()
+    response = bot.ask("What is the percentage of Japan's population in AS2497?")
+    print(response.answer)   # natural-language answer
+    print(response.cypher)   # the generated Cypher, for transparency
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.graph` / :mod:`repro.cypher` — in-memory property graph +
+  Cypher engine (the Neo4j substitute);
+* :mod:`repro.iyp` — synthetic Internet Yellow Pages dataset;
+* :mod:`repro.embed` / :mod:`repro.llm` — deterministic embeddings and the
+  simulated LLM backbone;
+* :mod:`repro.rag` — retrievers, reranker, synthesizer, pipeline;
+* :mod:`repro.core` — the ChatIYP system itself;
+* :mod:`repro.eval` — CypherEval benchmark, metrics, evaluation harness;
+* :mod:`repro.server` — HTTP API and CLI chat.
+"""
+
+from .core.chatiyp import ChatIYP, ChatResponse
+from .core.config import ChatIYPConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["ChatIYP", "ChatResponse", "ChatIYPConfig", "__version__"]

@@ -1,0 +1,6 @@
+"""Baseline systems ChatIYP is compared against."""
+
+from .pythia import PythiaBaseline
+from .vector_only import VectorOnlyBaseline
+
+__all__ = ["PythiaBaseline", "VectorOnlyBaseline"]

@@ -1,0 +1,46 @@
+"""Pythia-style baseline: text-to-Cypher without the RAG safety net.
+
+Pythia (Giakatos, Tashiro & Fontugne, LCN 2025 — the system CypherEval was
+built for) translates questions straight to Cypher and executes them; there
+is no semantic fallback and no re-ranking.  ChatIYP's §2 pitch is exactly
+the robustness this baseline lacks, so the comparison quantifies the RAG
+architecture's contribution.
+
+Implemented as a configuration of the shared components (same backbone,
+same graph, symbolic path only) so every difference in results is
+attributable to the architecture, not to implementation drift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.chatiyp import ChatIYP
+from ..core.config import ChatIYPConfig
+from ..iyp.generator import IYPDataset
+
+__all__ = ["PythiaBaseline"]
+
+
+class PythiaBaseline(ChatIYP):
+    """Symbolic-only question answering (no vector fallback, no reranker)."""
+
+    def __init__(
+        self,
+        dataset: Optional[IYPDataset] = None,
+        config: Optional[ChatIYPConfig] = None,
+    ) -> None:
+        config = config or ChatIYPConfig()
+        pythia_config = ChatIYPConfig(
+            **{
+                **config.__dict__,
+                "use_vector_fallback": False,
+                "use_reranker": False,
+                "use_decomposition": False,
+            }
+        )
+        super().__init__(dataset=dataset, config=pythia_config)
+
+    @property
+    def name(self) -> str:
+        return "pythia-baseline"

@@ -1,0 +1,27 @@
+"""ChatIYP core: the RAG system of the paper (Figure 1)."""
+
+from .chatiyp import ChatIYP, ChatResponse
+from .config import ChatIYPConfig
+from .session import ChatSession, Turn
+from .prompts import (
+    IYP_FEW_SHOT_EXAMPLES,
+    answer_prompt,
+    judge_prompt,
+    rerank_prompt,
+    text2cypher_prompt,
+)
+from .transparency import render_response
+
+__all__ = [
+    "ChatIYP",
+    "ChatResponse",
+    "ChatIYPConfig",
+    "ChatSession",
+    "Turn",
+    "render_response",
+    "text2cypher_prompt",
+    "answer_prompt",
+    "rerank_prompt",
+    "judge_prompt",
+    "IYP_FEW_SHOT_EXAMPLES",
+]

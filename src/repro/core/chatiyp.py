@@ -1,0 +1,163 @@
+"""ChatIYP — the natural-language interface over the IYP graph.
+
+The facade assembles the whole system of Figure 1: the synthetic IYP graph,
+the Cypher engine, the simulated LLM backbone, the three retrieval stages
+and the response synthesizer.  ``ask()`` returns both the lexical response
+and the underlying Cypher query for transparency, as the paper's UI does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..cypher.executor import CypherEngine
+from ..cypher.result import ResultSet
+from ..embed.model import HashingEmbedding
+from ..graph.schema import introspect_schema
+from ..iyp.generator import IYPDataset
+from ..iyp.loader import load_dataset
+from ..llm.simulated import SimulatedLLM
+from ..llm.text2cypher import ErrorModel
+from ..nlp.entities import Gazetteer
+from ..rag.pipeline import PipelineResponse, RetrieverQueryEngine
+from ..rag.reranker import LLMReranker
+from ..rag.synthesizer import ResponseSynthesizer
+from ..rag.text2cypher_retriever import TextToCypherRetriever
+from ..rag.vector_retriever import VectorContextRetriever
+from .config import ChatIYPConfig
+from .prompts import answer_prompt, rerank_prompt, text2cypher_prompt
+
+__all__ = ["ChatResponse", "ChatIYP"]
+
+
+@dataclass
+class ChatResponse:
+    """One answered question with full provenance."""
+
+    question: str
+    answer: str
+    cypher: Optional[str]
+    retrieval_source: str
+    used_fallback: bool
+    context_snippets: list[str] = field(default_factory=list)
+    result: Optional[ResultSet] = None
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly rendering (used by the HTTP server)."""
+        rows = self.result.to_dicts() if self.result is not None else None
+        if rows is not None:
+            from ..cypher.result import render_value
+
+            rows = [
+                {key: render_value(value) for key, value in row.items()} for row in rows
+            ]
+        return {
+            "question": self.question,
+            "answer": self.answer,
+            "cypher": self.cypher,
+            "retrieval_source": self.retrieval_source,
+            "used_fallback": self.used_fallback,
+            "context": self.context_snippets,
+            "rows": rows,
+        }
+
+
+class ChatIYP:
+    """The ChatIYP system: ``ChatIYP().ask("...")``."""
+
+    def __init__(
+        self,
+        dataset: Optional[IYPDataset] = None,
+        config: Optional[ChatIYPConfig] = None,
+    ) -> None:
+        self.config = config or ChatIYPConfig()
+        self.dataset = dataset or load_dataset(
+            self.config.dataset_size, self.config.dataset_seed
+        )
+        self.store = self.dataset.store
+        self.engine = CypherEngine(self.store)
+        self.schema_text = introspect_schema(self.store).describe()
+
+        gazetteer = Gazetteer.from_dataset(self.dataset)
+        error_model = ErrorModel(
+            base=self.config.error_base,
+            slope=self.config.error_slope,
+            power=self.config.error_power,
+            syntax_share=self.config.syntax_error_share,
+        )
+        embedding = HashingEmbedding(dim=self.config.embedding_dim)
+        self.llm = SimulatedLLM(
+            gazetteer=gazetteer,
+            seed=self.config.seed,
+            error_model=error_model,
+            embedding=embedding,
+        )
+
+        text2cypher = TextToCypherRetriever(
+            engine=self.engine,
+            llm=self.llm,
+            schema_text=self.schema_text,
+            prompt_builder=text2cypher_prompt,
+        )
+        vector = None
+        if self.config.use_vector_fallback:
+            vector = VectorContextRetriever(
+                self.store, top_k=self.config.vector_top_k
+            )
+        reranker = None
+        if self.config.use_reranker:
+            reranker = LLMReranker(
+                self.llm,
+                top_n=self.config.rerank_top_n,
+                prompt_builder=rerank_prompt,
+            )
+        synthesizer = ResponseSynthesizer(self.llm, prompt_builder=answer_prompt)
+        self.pipeline = RetrieverQueryEngine(
+            text2cypher=text2cypher,
+            vector=vector,
+            reranker=reranker,
+            synthesizer=synthesizer,
+            vector_fallback=self.config.use_vector_fallback,
+            sparse_row_threshold=self.config.sparse_row_threshold,
+        )
+        if self.config.use_decomposition:
+            from ..rag.decompose import DecomposingQueryEngine, QuestionDecomposer
+
+            self.pipeline = DecomposingQueryEngine(
+                self.pipeline, QuestionDecomposer(gazetteer)
+            )
+
+    # ------------------------------------------------------------------
+
+    def ask(self, question: str) -> ChatResponse:
+        """Answer a natural-language question about the IYP graph."""
+        if not question or not question.strip():
+            return ChatResponse(
+                question=question,
+                answer="Please ask a question about Internet infrastructure.",
+                cypher=None,
+                retrieval_source="none",
+                used_fallback=False,
+            )
+        pipeline_response: PipelineResponse = self.pipeline.query(question.strip())
+        return ChatResponse(
+            question=question.strip(),
+            answer=pipeline_response.answer,
+            cypher=pipeline_response.cypher,
+            retrieval_source=pipeline_response.retrieval_source,
+            used_fallback=pipeline_response.used_fallback,
+            context_snippets=[item.node.text for item in pipeline_response.context],
+            result=pipeline_response.result,
+            diagnostics=pipeline_response.diagnostics,
+        )
+
+    def run_cypher(self, query: str, **params: Any) -> ResultSet:
+        """Escape hatch: run raw Cypher against the underlying graph."""
+        return self.engine.run(query, **params)
+
+    @property
+    def schema(self) -> str:
+        """The schema text injected into the text-to-Cypher prompt."""
+        return self.schema_text

@@ -1,0 +1,35 @@
+"""ChatIYP configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ChatIYPConfig"]
+
+
+@dataclass
+class ChatIYPConfig:
+    """Knobs for the ChatIYP pipeline.
+
+    Defaults match the paper's architecture: symbolic retrieval first,
+    vector fallback on failure/sparsity, LLM re-ranking before generation.
+    """
+
+    seed: int = 0
+    dataset_size: str = "medium"
+    dataset_seed: int = 42
+    vector_top_k: int = 8
+    rerank_top_n: int = 6
+    use_reranker: bool = True
+    use_vector_fallback: bool = True
+    # Extension beyond the paper: sub-question decomposition for compound
+    # questions (the poster's stated future-work direction). Off by default
+    # so the baseline reproduces the published system.
+    use_decomposition: bool = False
+    sparse_row_threshold: int = 0
+    embedding_dim: int = 256
+    # Error-model calibration of the simulated text-to-Cypher backbone.
+    error_base: float = 0.28
+    error_slope: float = 1.6
+    error_power: float = 1.6
+    syntax_error_share: float = 0.18

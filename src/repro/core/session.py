@@ -1,0 +1,162 @@
+"""Multi-turn chat sessions with follow-up resolution.
+
+The public ChatIYP web application is conversational; users ask follow-ups
+like "what about AS15169?" or "which IXPs is it a member of?".  The
+stateless pipeline cannot resolve those, so :class:`ChatSession` keeps a
+small dialogue state (the entities and phrasing of recent turns) and
+rewrites follow-ups into self-contained questions before asking:
+
+* **pronoun injection** — "it" / "its" / "this AS" resolve to the most
+  recently discussed AS;
+* **elliptical swap** — "and AS15169?" / "what about Japan?" re-instantiate
+  the previous question with the new entity.
+
+The rewritten question is recorded in the response diagnostics, keeping the
+transparency contract: users can always see what was actually asked.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..nlp.entities import EntityExtractor, ExtractedEntities
+from .chatiyp import ChatIYP, ChatResponse
+
+__all__ = ["ChatSession", "Turn"]
+
+_FOLLOWUP_LEAD_RE = re.compile(
+    r"^\s*(?:and|what about|how about|what of|same for|also)\b[\s:,]*", re.IGNORECASE
+)
+_PRONOUN_RES = [
+    (re.compile(r"\bits\b", re.IGNORECASE), "{asn}'s"),
+    (re.compile(r"\bit\b", re.IGNORECASE), "{asn}"),
+    (re.compile(r"\b(?:this|that)\s+(?:as|network|operator)\b", re.IGNORECASE), "{asn}"),
+    (re.compile(r"\bthey\b", re.IGNORECASE), "{asn}"),
+]
+_ASN_RE = re.compile(r"\bAS\s?\d{1,7}\b", re.IGNORECASE)
+
+
+@dataclass
+class Turn:
+    """One dialogue turn: what the user typed, what was asked, the answer."""
+
+    user_question: str
+    resolved_question: str
+    response: ChatResponse
+
+
+@dataclass
+class _DialogueState:
+    last_question: Optional[str] = None
+    last_asn: Optional[int] = None
+    last_country: Optional[str] = None  # full name as used in text
+    last_domain: Optional[str] = None
+    last_ixp: Optional[str] = None
+
+
+class ChatSession:
+    """A stateful conversation over one :class:`ChatIYP` instance."""
+
+    def __init__(self, chatiyp: ChatIYP, max_history: int = 50) -> None:
+        self.chatiyp = chatiyp
+        self.max_history = max_history
+        self.history: list[Turn] = []
+        self._state = _DialogueState()
+        self._extractor = EntityExtractor(chatiyp.llm.text2cypher.extractor.gazetteer)
+
+    # ------------------------------------------------------------------
+
+    def ask(self, question: str) -> ChatResponse:
+        """Resolve follow-up references, ask, and record the turn."""
+        resolved = self.resolve(question)
+        response = self.chatiyp.ask(resolved)
+        if resolved != question:
+            response.diagnostics["resolved_question"] = resolved
+        self._remember(resolved)
+        self.history.append(
+            Turn(user_question=question, resolved_question=resolved, response=response)
+        )
+        if len(self.history) > self.max_history:
+            del self.history[: len(self.history) - self.max_history]
+        return response
+
+    def resolve(self, question: str) -> str:
+        """Rewrite a follow-up into a self-contained question (idempotent
+        for questions that are already self-contained)."""
+        stripped = question.strip()
+        entities = self._extractor.extract(stripped)
+
+        swapped = self._try_elliptical_swap(stripped, entities)
+        if swapped is not None:
+            return swapped
+
+        if not entities.asns and self._state.last_asn is not None:
+            injected = self._inject_pronouns(stripped, self._state.last_asn)
+            if injected != stripped:
+                return injected
+        return stripped
+
+    def reset(self) -> None:
+        """Forget all dialogue state and history."""
+        self.history.clear()
+        self._state = _DialogueState()
+
+    # ------------------------------------------------------------------
+
+    def _try_elliptical_swap(
+        self, question: str, entities: ExtractedEntities
+    ) -> Optional[str]:
+        """Handle "what about X?" by re-instantiating the previous question."""
+        match = _FOLLOWUP_LEAD_RE.match(question)
+        if match is None or self._state.last_question is None:
+            return None
+        remainder = question[match.end():].strip(" ?.!")
+        # The remainder must be essentially just the new entity mention.
+        if len(remainder.split()) > 4:
+            return None
+        previous = self._state.last_question
+        if entities.asns:
+            return _ASN_RE.sub(f"AS{entities.asns[0]}", previous, count=1)
+        if entities.countries and self._state.last_country:
+            new_name = self._country_name(entities.countries[0]) or remainder
+            return re.sub(
+                re.escape(self._state.last_country), new_name, previous,
+                count=1, flags=re.IGNORECASE,
+            )
+        if entities.domains and self._state.last_domain:
+            return previous.replace(self._state.last_domain, entities.domains[0])
+        if entities.ixps and self._state.last_ixp:
+            return previous.replace(self._state.last_ixp, entities.ixps[0])
+        return None
+
+    def _inject_pronouns(self, question: str, asn: int) -> str:
+        rewritten = question
+        for pattern, replacement in _PRONOUN_RES:
+            new_text = pattern.sub(replacement.format(asn=f"AS{asn}"), rewritten, count=1)
+            if new_text != rewritten:
+                return new_text
+        return rewritten
+
+    def _remember(self, resolved: str) -> None:
+        entities = self._extractor.extract(resolved)
+        if entities.asns:
+            self._state.last_asn = entities.asns[0]
+        if entities.countries:
+            name = self._country_name(entities.countries[0])
+            if name and name.lower() in resolved.lower():
+                self._state.last_country = name
+        if entities.domains:
+            self._state.last_domain = entities.domains[0]
+        if entities.ixps:
+            self._state.last_ixp = entities.ixps[0]
+        if entities.asns or entities.countries or entities.domains or entities.ixps:
+            self._state.last_question = resolved
+
+    def _country_name(self, code: str) -> Optional[str]:
+        gazetteer = self._extractor.gazetteer
+        for name, mapped in gazetteer.countries.items():
+            if mapped == code and len(name) > 3:
+                return name.title()
+        return None

@@ -1,0 +1,35 @@
+"""Transparency rendering: show the answer *and* the query behind it.
+
+The paper's interface "returns both the lexical responses and the
+underlying query for transparency"; this renders that block for CLIs,
+examples and logs.
+"""
+
+from __future__ import annotations
+
+from .chatiyp import ChatResponse
+
+__all__ = ["render_response"]
+
+
+def render_response(response: ChatResponse, show_context: bool = False) -> str:
+    """Pretty multi-line rendering of a :class:`ChatResponse`."""
+    lines = [
+        f"Q: {response.question}",
+        f"A: {response.answer}",
+    ]
+    if response.cypher:
+        status = "" if response.retrieval_source == "text2cypher" else " (failed; used semantic fallback)"
+        lines.append(f"Cypher{status}: {response.cypher}")
+    else:
+        lines.append("Cypher: <no translation produced>")
+    lines.append(f"Retrieval: {response.retrieval_source}")
+    if response.result is not None and response.result.records:
+        lines.append("Rows:")
+        for row_line in response.result.to_table(max_rows=5).splitlines():
+            lines.append(f"  {row_line}")
+    if show_context and response.context_snippets:
+        lines.append("Context:")
+        for snippet in response.context_snippets[:5]:
+            lines.append(f"  - {snippet}")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Cypher query engine over :class:`repro.graph.GraphStore`.
+
+Public surface::
+
+    from repro.cypher import CypherEngine, execute, parse
+
+    engine = CypherEngine(store)
+    result = engine.run("MATCH (a:AS {asn: $asn}) RETURN a.name", asn=2497)
+"""
+
+from .errors import (
+    CypherError,
+    CypherRuntimeError,
+    CypherSyntaxError,
+    CypherTypeError,
+    UnknownFunctionError,
+)
+from .executor import CypherEngine, execute
+from .parser import parse, parse_expression
+from .result import Record, ResultSet, render_value
+from .safety import is_read_only
+
+__all__ = [
+    "CypherEngine",
+    "execute",
+    "parse",
+    "parse_expression",
+    "Record",
+    "ResultSet",
+    "render_value",
+    "is_read_only",
+    "CypherError",
+    "CypherSyntaxError",
+    "CypherTypeError",
+    "CypherRuntimeError",
+    "UnknownFunctionError",
+]

@@ -1,0 +1,1525 @@
+"""Query executor: evaluates a parsed Cypher AST against a GraphStore.
+
+Execution is a pipeline of clause operators over *rows* (variable-binding
+dicts), in textual clause order — which for the query shapes IYP uses is
+also a perfectly good physical plan.  Pattern matching anchors on the most
+selective end of each pattern part and enforces Cypher's
+relationship-uniqueness rule within a MATCH.
+
+Entry point: :class:`CypherEngine` (``engine.run(query, **params)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Union
+
+from ..graph.model import Node, Path, Relationship
+from ..graph.store import GraphStore
+from . import ast_nodes as ast
+from .errors import CypherRuntimeError, CypherSyntaxError, CypherTypeError
+from .functions import (
+    call_aggregate,
+    call_scalar,
+    is_aggregate_function,
+    percentile,
+    regex_match,
+)
+from .parser import parse
+from .result import Record, ResultSet
+from .values import cypher_compare, cypher_equals, is_truthy, sort_key
+
+__all__ = ["CypherEngine", "execute"]
+
+Row = dict[str, Any]
+
+
+def execute(store: GraphStore, query: str, **params: Any) -> ResultSet:
+    """One-shot convenience wrapper around :class:`CypherEngine`."""
+    return CypherEngine(store).run(query, **params)
+
+
+class CypherEngine:
+    """Executes Cypher text against one :class:`GraphStore`.
+
+    The engine caches parsed ASTs keyed by query text, so repeated
+    execution of generated queries (the RAG hot path) skips the parser.
+    """
+
+    def __init__(self, store: GraphStore, max_var_length: int = 32) -> None:
+        self.store = store
+        self.max_var_length = max_var_length
+        self._ast_cache: dict[str, ast.Query] = {}
+
+    def run(self, query: str, **params: Any) -> ResultSet:
+        """Parse (with caching) and execute ``query``."""
+        tree = self._ast_cache.get(query)
+        if tree is None:
+            tree = parse(query)
+            if len(self._ast_cache) > 1024:
+                self._ast_cache.clear()
+            self._ast_cache[query] = tree
+        return self.run_ast(tree, params)
+
+    def run_ast(self, tree: ast.Query, params: dict[str, Any] | None = None) -> ResultSet:
+        """Execute an already-parsed query."""
+        context = _ExecutionContext(self.store, params or {}, self.max_var_length)
+        if isinstance(tree, ast.UnionQuery):
+            return self._run_union(tree, context)
+        return self._run_single(tree, context)
+
+    def profile(self, query: str, **params: Any) -> tuple[ResultSet, str]:
+        """Execute ``query`` and report rows flowing out of every clause.
+
+        A poor man's ``PROFILE``: returns the normal result plus a text
+        report with the intermediate row count after each clause — the
+        first tool to reach for when a generated query is slow or empty.
+        """
+        tree = parse(query)
+        context = _ExecutionContext(self.store, params or {}, self.max_var_length)
+        lines: list[str] = []
+        queries = tree.queries if isinstance(tree, ast.UnionQuery) else (tree,)
+        all_results: list[ResultSet] = []
+        for qindex, single in enumerate(queries):
+            if len(queries) > 1:
+                lines.append(f"UNION branch {qindex + 1}:")
+            rows: list[Row] = [{}]
+            final: Optional[ResultSet] = None
+            for clause in single.clauses:
+                label = self._explain_clause(clause)[0]
+                if isinstance(clause, ast.MatchClause):
+                    rows = context.apply_match(rows, clause)
+                elif isinstance(clause, ast.UnwindClause):
+                    rows = context.apply_unwind(rows, clause)
+                elif isinstance(clause, ast.WithClause):
+                    rows = context.apply_with(rows, clause)
+                elif isinstance(clause, ast.ReturnClause):
+                    final = context.apply_return(rows, clause)
+                    rows = [dict(zip(final.keys, r.values())) for r in final.records]
+                elif isinstance(clause, ast.CreateClause):
+                    rows = context.apply_create(rows, clause)
+                elif isinstance(clause, ast.MergeClause):
+                    rows = context.apply_merge(rows, clause)
+                elif isinstance(clause, ast.SetClause):
+                    rows = context.apply_set(rows, clause)
+                elif isinstance(clause, ast.DeleteClause):
+                    rows = context.apply_delete(rows, clause)
+                elif isinstance(clause, ast.RemoveClause):
+                    rows = context.apply_remove(rows, clause)
+                lines.append(f"  {label:60s} -> {len(rows)} rows")
+            all_results.append(final if final is not None else ResultSet([], []))
+        if len(all_results) == 1:
+            result = all_results[0]
+        else:
+            keys = all_results[0].keys
+            records: list[Record] = []
+            seen: set[Any] = set()
+            union_all = isinstance(tree, ast.UnionQuery) and tree.union_all
+            for sub in all_results:
+                for record in sub.records:
+                    if not union_all:
+                        frozen = _freeze(record.values())
+                        if frozen in seen:
+                            continue
+                        seen.add(frozen)
+                    records.append(record)
+            result = ResultSet(keys, records)
+        result = ResultSet(result.keys, result.records, **context.counters())
+        return result, "\n".join(lines)
+
+    def explain(self, query: str) -> str:
+        """Describe how ``query`` would execute (clause pipeline + anchors).
+
+        A poor man's ``EXPLAIN``: no cost model, but it shows the clause
+        operators in order and, for each MATCH pattern part, which end the
+        matcher anchors on and why.
+        """
+        tree = parse(query)
+        queries = tree.queries if isinstance(tree, ast.UnionQuery) else (tree,)
+        lines = []
+        for qindex, single in enumerate(queries):
+            if len(queries) > 1:
+                lines.append(f"UNION branch {qindex + 1}:")
+            for clause in single.clauses:
+                lines.extend(self._explain_clause(clause))
+        return "\n".join(lines)
+
+    def _explain_clause(self, clause: ast.Clause) -> list[str]:
+        name = type(clause).__name__.replace("Clause", "")
+        if isinstance(clause, ast.MatchClause):
+            prefix = "OptionalMatch" if clause.optional else "Match"
+            lines = []
+            for part in clause.pattern.parts:
+                lines.append(f"{prefix} {self._explain_part(part)}")
+            if clause.where is not None:
+                lines.append("  Filter (WHERE)")
+            return lines
+        if isinstance(clause, ast.ProjectionClause):
+            detail = []
+            if clause.distinct:
+                detail.append("distinct")
+            if any(_contains_aggregate(i.expression) for i in clause.items):
+                detail.append("aggregate+group")
+            if clause.order_by:
+                detail.append(f"sort({len(clause.order_by)} keys)")
+            if clause.skip is not None:
+                detail.append("skip")
+            if clause.limit is not None:
+                detail.append("limit")
+            suffix = f" [{', '.join(detail)}]" if detail else ""
+            return [f"{name} {len(clause.items)} items{suffix}"]
+        return [name]
+
+    def _explain_part(self, part: ast.PatternPart) -> str:
+        nodes = part.nodes
+        if part.shortest is not None:
+            kind = "shortestPath" if part.shortest == "single" else "allShortestPaths"
+            return f"{kind} BFS between {self._node_text(nodes[0])} and {self._node_text(nodes[-1])}"
+        first, last = nodes[0], nodes[-1]
+        empty_row: Row = {}
+        reverse = len(part.elements) > 1 and (
+            _node_selectivity(last, empty_row) > _node_selectivity(first, empty_row)
+        )
+        anchor = last if reverse else first
+        direction = "right-to-left" if reverse else "left-to-right"
+        access = "AllNodesScan"
+        if anchor.labels and anchor.properties:
+            key = anchor.properties[0][0]
+            access = f"PropertyLookup(:{anchor.labels[0]}.{key})"
+        elif anchor.labels:
+            access = f"LabelScan(:{anchor.labels[0]})"
+        hops = part.hop_count
+        return (
+            f"pattern({len(nodes)} nodes, {hops} hops) anchor={self._node_text(anchor)} "
+            f"via {access}, expand {direction}"
+        )
+
+    @staticmethod
+    def _node_text(node: ast.NodePattern) -> str:
+        label = f":{node.labels[0]}" if node.labels else ""
+        variable = node.variable or ""
+        return f"({variable}{label})"
+
+    # ------------------------------------------------------------------
+
+    def _run_union(self, tree: ast.UnionQuery, context: "_ExecutionContext") -> ResultSet:
+        results = [self._run_single(query, context) for query in tree.queries]
+        keys = results[0].keys
+        for result in results[1:]:
+            if result.keys != keys:
+                raise CypherSyntaxError(
+                    "all UNION sub-queries must return the same column names"
+                )
+        records: list[Record] = []
+        seen: set[Any] = set()
+        for result in results:
+            for record in result.records:
+                if not tree.union_all:
+                    frozen = _freeze(record.values())
+                    if frozen in seen:
+                        continue
+                    seen.add(frozen)
+                records.append(record)
+        return ResultSet(keys, records, **context.counters())
+
+    def _run_single(self, tree: ast.SingleQuery, context: "_ExecutionContext") -> ResultSet:
+        rows: list[Row] = [{}]
+        final: Optional[ResultSet] = None
+        clauses = tree.clauses
+        for index, clause in enumerate(clauses):
+            if isinstance(clause, ast.MatchClause):
+                rows = context.apply_match(rows, clause)
+            elif isinstance(clause, ast.UnwindClause):
+                rows = context.apply_unwind(rows, clause)
+            elif isinstance(clause, ast.WithClause):
+                rows = context.apply_with(rows, clause)
+            elif isinstance(clause, ast.ReturnClause):
+                if index != len(clauses) - 1:
+                    raise CypherSyntaxError("RETURN must be the final clause")
+                final = context.apply_return(rows, clause)
+            elif isinstance(clause, ast.CreateClause):
+                rows = context.apply_create(rows, clause)
+            elif isinstance(clause, ast.MergeClause):
+                rows = context.apply_merge(rows, clause)
+            elif isinstance(clause, ast.SetClause):
+                rows = context.apply_set(rows, clause)
+            elif isinstance(clause, ast.DeleteClause):
+                rows = context.apply_delete(rows, clause)
+            elif isinstance(clause, ast.RemoveClause):
+                rows = context.apply_remove(rows, clause)
+            else:  # pragma: no cover - parser cannot produce others
+                raise CypherRuntimeError(f"unsupported clause {clause!r}")
+        if final is None:
+            final = ResultSet([], [], **context.counters())
+        else:
+            final = ResultSet(final.keys, final.records, **context.counters())
+        return final
+
+
+# ---------------------------------------------------------------------------
+# Execution context: clause operators
+# ---------------------------------------------------------------------------
+
+class _ExecutionContext:
+    """Holds the store, parameters and write counters for one execution."""
+
+    def __init__(self, store: GraphStore, params: dict[str, Any], max_var_length: int):
+        self.store = store
+        self.params = params
+        self.max_var_length = max_var_length
+        self.evaluator = _Evaluator(self)
+        self.nodes_created = 0
+        self.relationships_created = 0
+        self.properties_set = 0
+        self.nodes_deleted = 0
+        self.relationships_deleted = 0
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "nodes_created": self.nodes_created,
+            "relationships_created": self.relationships_created,
+            "properties_set": self.properties_set,
+            "nodes_deleted": self.nodes_deleted,
+            "relationships_deleted": self.relationships_deleted,
+        }
+
+    # -- MATCH ----------------------------------------------------------
+
+    def apply_match(self, rows: list[Row], clause: ast.MatchClause) -> list[Row]:
+        output: list[Row] = []
+        new_variables = _pattern_variables(clause.pattern)
+        for row in rows:
+            matches = []
+            for matched in self.match_pattern(clause.pattern, row):
+                if clause.where is not None:
+                    if is_truthy(self.evaluator.evaluate(clause.where, matched)) is not True:
+                        continue
+                matches.append(matched)
+            if matches:
+                output.extend(matches)
+            elif clause.optional:
+                padded = dict(row)
+                for name in new_variables:
+                    padded.setdefault(name, None)
+                output.append(padded)
+        return output
+
+    def match_pattern(self, pattern: ast.Pattern, row: Row) -> Iterator[Row]:
+        """Match all parts of ``pattern`` (cartesian, rel-unique) from ``row``."""
+
+        def match_parts(index: int, current: Row, used: frozenset[int]) -> Iterator[Row]:
+            if index == len(pattern.parts):
+                yield current
+                return
+            for matched, used_after in self._match_part(pattern.parts[index], current, used):
+                yield from match_parts(index + 1, matched, used_after)
+
+        yield from match_parts(0, row, frozenset())
+
+    def _match_part(
+        self, part: ast.PatternPart, row: Row, used: frozenset[int]
+    ) -> Iterator[tuple[Row, frozenset[int]]]:
+        if part.shortest is not None:
+            yield from self._match_shortest(part, row, used)
+            return
+        elements = list(part.elements)
+        if len(elements) > 1 and self._should_reverse(elements, row):
+            elements = _reverse_elements(elements)
+            reversed_part = True
+        else:
+            reversed_part = False
+
+        first = elements[0]
+        assert isinstance(first, ast.NodePattern)
+        for start in self._node_candidates(first, row):
+            start_row = self._bind_node(first, start, row)
+            if start_row is None:
+                continue
+            for final_row, used_after, nodes, rels in self._match_chain(
+                elements, 1, start_row, used, [start], []
+            ):
+                if part.path_variable is not None:
+                    path_nodes = list(reversed(nodes)) if reversed_part else nodes
+                    path_rels = list(reversed(rels)) if reversed_part else rels
+                    final_row = dict(final_row)
+                    final_row[part.path_variable] = Path(path_nodes, path_rels)
+                yield final_row, used_after
+
+    def _match_shortest(
+        self, part: ast.PatternPart, row: Row, used: frozenset[int]
+    ) -> Iterator[tuple[Row, frozenset[int]]]:
+        """Match ``shortestPath((a)-[...]-(b))`` via breadth-first search.
+
+        Both endpoint patterns are resolved first (bound variables or
+        indexed/label scans), then a BFS bounded by the relationship
+        pattern's hop range finds one (``"single"``) or all (``"all"``)
+        minimum-length paths.
+        """
+        start_pattern, rel_pattern, end_pattern = part.elements
+        assert isinstance(start_pattern, ast.NodePattern)
+        assert isinstance(rel_pattern, ast.RelPattern)
+        assert isinstance(end_pattern, ast.NodePattern)
+        if not rel_pattern.var_length and rel_pattern.min_hops is None:
+            # A plain relationship inside shortestPath() means one hop.
+            rel_pattern = ast.RelPattern(
+                variable=rel_pattern.variable, types=rel_pattern.types,
+                direction=rel_pattern.direction, properties=rel_pattern.properties,
+                min_hops=1, max_hops=1, var_length=True,
+            )
+        for start in self._node_candidates(start_pattern, row):
+            start_row = self._bind_node(start_pattern, start, row)
+            if start_row is None:
+                continue
+            for end in self._node_candidates(end_pattern, start_row):
+                end_row = self._bind_node(end_pattern, end, start_row)
+                if end_row is None:
+                    continue
+                for nodes, rels in self._bfs_shortest(
+                    start, end, rel_pattern, end_row, all_paths=(part.shortest == "all")
+                ):
+                    final = dict(end_row)
+                    if rel_pattern.variable is not None:
+                        final[rel_pattern.variable] = list(rels)
+                    if part.path_variable is not None:
+                        final[part.path_variable] = Path(nodes, rels)
+                    yield final, used | {rel.rel_id for rel in rels}
+
+    def _bfs_shortest(
+        self,
+        start: Node,
+        end: Node,
+        rel_pattern: ast.RelPattern,
+        row: Row,
+        all_paths: bool,
+    ) -> list[tuple[list[Node], list[Relationship]]]:
+        min_hops = rel_pattern.min_hops if rel_pattern.min_hops is not None else 1
+        max_hops = rel_pattern.max_hops if rel_pattern.max_hops is not None else self.max_var_length
+        if min_hops == 0 and start.node_id == end.node_id:
+            return [([start], [])]
+        # Level-synchronous BFS keeping every parent edge at the found depth
+        # so all shortest paths can be reconstructed.
+        frontier: dict[int, list[tuple[list[Node], list[Relationship]]]] = {
+            start.node_id: [([start], [])]
+        }
+        visited_depth = {start.node_id: 0}
+        found: list[tuple[list[Node], list[Relationship]]] = []
+        depth = 0
+        while frontier and depth < max_hops and not found:
+            depth += 1
+            next_frontier: dict[int, list[tuple[list[Node], list[Relationship]]]] = {}
+            for node_id, partials in frontier.items():
+                node = self.store.node(node_id)
+                for rel in self.store.relationships_of(
+                    node_id, rel_pattern.direction, rel_pattern.types or None
+                ):
+                    if rel_pattern.direction == "out" and rel.start_id != node_id:
+                        continue
+                    if rel_pattern.direction == "in" and rel.end_id != node_id:
+                        continue
+                    if not self._rel_properties_match(rel_pattern, rel, row):
+                        continue
+                    other_id = rel.other_end(node_id)
+                    seen_at = visited_depth.get(other_id)
+                    if seen_at is not None and seen_at < depth:
+                        continue  # strictly shorter route exists
+                    visited_depth.setdefault(other_id, depth)
+                    other = self.store.node(other_id)
+                    extensions = [
+                        (nodes + [other], rels + [rel])
+                        for nodes, rels in partials
+                        if rel.rel_id not in {r.rel_id for r in rels}
+                    ]
+                    if not extensions:
+                        continue
+                    if other_id == end.node_id and depth >= min_hops:
+                        found.extend(extensions)
+                    else:
+                        next_frontier.setdefault(other_id, []).extend(extensions)
+            frontier = next_frontier
+        if not found:
+            return []
+        if all_paths:
+            return found
+        return found[:1]
+
+    def _match_chain(
+        self,
+        elements: list[Union[ast.NodePattern, ast.RelPattern]],
+        index: int,
+        row: Row,
+        used: frozenset[int],
+        nodes: list[Node],
+        rels: list[Relationship],
+    ) -> Iterator[tuple[Row, frozenset[int], list[Node], list[Relationship]]]:
+        if index >= len(elements):
+            yield row, used, nodes, rels
+            return
+        rel_pattern = elements[index]
+        node_pattern = elements[index + 1]
+        assert isinstance(rel_pattern, ast.RelPattern)
+        assert isinstance(node_pattern, ast.NodePattern)
+        current = nodes[-1]
+
+        if rel_pattern.var_length:
+            steps = self._expand_var_length(rel_pattern, current, row, used)
+        else:
+            steps = self._expand_single(rel_pattern, current, row, used)
+
+        for step_rels, end_node in steps:
+            new_used = used | {rel.rel_id for rel in step_rels}
+            if rel_pattern.variable is not None:
+                bound_value: Any = list(step_rels) if rel_pattern.var_length else step_rels[0]
+                existing = row.get(rel_pattern.variable)
+                if rel_pattern.variable in row:
+                    if not _same_rel_binding(existing, bound_value):
+                        continue
+                    rel_row = row
+                else:
+                    rel_row = dict(row)
+                    rel_row[rel_pattern.variable] = bound_value
+            else:
+                rel_row = row
+            end_row = self._bind_node(node_pattern, end_node, rel_row)
+            if end_row is None:
+                continue
+            if rel_pattern.var_length:
+                # Include intermediate nodes so bound paths are complete.
+                step_nodes = []
+                cursor = current
+                for rel in step_rels:
+                    cursor = self.store.node(rel.other_end(cursor.node_id))
+                    step_nodes.append(cursor)
+                if not step_rels:
+                    step_nodes = []
+                next_nodes = nodes + step_nodes
+                if not step_rels and end_node.node_id != current.node_id:
+                    next_nodes = nodes + [end_node]
+            else:
+                next_nodes = nodes + [end_node]
+            yield from self._match_chain(
+                elements,
+                index + 2,
+                end_row,
+                new_used,
+                next_nodes,
+                rels + list(step_rels),
+            )
+
+    def _expand_single(
+        self,
+        rel_pattern: ast.RelPattern,
+        current: Node,
+        row: Row,
+        used: frozenset[int],
+    ) -> Iterator[tuple[list[Relationship], Node]]:
+        direction = rel_pattern.direction
+        types = rel_pattern.types or None
+        for rel in self.store.relationships_of(current.node_id, direction, types):
+            if rel.rel_id in used:
+                continue
+            if not self._rel_properties_match(rel_pattern, rel, row):
+                continue
+            other_id = rel.other_end(current.node_id)
+            # Self-loops satisfy either direction; for directed patterns
+            # make sure the edge actually points the right way.
+            if direction == "out" and rel.start_id != current.node_id:
+                continue
+            if direction == "in" and rel.end_id != current.node_id:
+                continue
+            yield [rel], self.store.node(other_id)
+
+    def _expand_var_length(
+        self,
+        rel_pattern: ast.RelPattern,
+        current: Node,
+        row: Row,
+        used: frozenset[int],
+    ) -> Iterator[tuple[list[Relationship], Node]]:
+        min_hops = rel_pattern.min_hops if rel_pattern.min_hops is not None else 1
+        max_hops = rel_pattern.max_hops if rel_pattern.max_hops is not None else self.max_var_length
+        if max_hops > self.max_var_length:
+            max_hops = self.max_var_length
+        if min_hops == 0:
+            yield [], current
+
+        def walk(
+            node: Node, taken: list[Relationship], taken_ids: frozenset[int]
+        ) -> Iterator[tuple[list[Relationship], Node]]:
+            if len(taken) >= max_hops:
+                return
+            for rel in self.store.relationships_of(
+                node.node_id, rel_pattern.direction, rel_pattern.types or None
+            ):
+                if rel.rel_id in used or rel.rel_id in taken_ids:
+                    continue
+                if rel_pattern.direction == "out" and rel.start_id != node.node_id:
+                    continue
+                if rel_pattern.direction == "in" and rel.end_id != node.node_id:
+                    continue
+                if not self._rel_properties_match(rel_pattern, rel, row):
+                    continue
+                next_node = self.store.node(rel.other_end(node.node_id))
+                extended = taken + [rel]
+                if len(extended) >= min_hops:
+                    yield extended, next_node
+                yield from walk(next_node, extended, taken_ids | {rel.rel_id})
+
+        yield from walk(current, [], frozenset())
+
+    def _rel_properties_match(
+        self, rel_pattern: ast.RelPattern, rel: Relationship, row: Row
+    ) -> bool:
+        for key, expr in rel_pattern.properties:
+            wanted = self.evaluator.evaluate(expr, row)
+            if cypher_equals(rel.properties.get(key), wanted) is not True:
+                return False
+        return True
+
+    def _node_candidates(self, node_pattern: ast.NodePattern, row: Row) -> Iterator[Node]:
+        """Candidate nodes for the anchor position of a pattern part."""
+        if node_pattern.variable is not None and node_pattern.variable in row:
+            bound = row[node_pattern.variable]
+            if bound is None:
+                return
+            if not isinstance(bound, Node):
+                raise CypherTypeError(
+                    f"variable {node_pattern.variable!r} is not a node: {bound!r}"
+                )
+            yield bound
+            return
+        # Use a property-equality lookup when available (index or label scan).
+        if node_pattern.labels and node_pattern.properties:
+            key, expr = node_pattern.properties[0]
+            value = self.evaluator.evaluate(expr, row)
+            yield from self.store.nodes_by_property(node_pattern.labels[0], key, value)
+            return
+        if node_pattern.labels:
+            yield from self.store.nodes_by_label(node_pattern.labels[0])
+            return
+        yield from self.store.all_nodes()
+
+    def _bind_node(self, node_pattern: ast.NodePattern, node: Node, row: Row) -> Optional[Row]:
+        """Check constraints of ``node_pattern`` against ``node``; bind if ok."""
+        for label in node_pattern.labels:
+            if label not in node.labels:
+                return None
+        for key, expr in node_pattern.properties:
+            wanted = self.evaluator.evaluate(expr, row)
+            if cypher_equals(node.properties.get(key), wanted) is not True:
+                return None
+        if node_pattern.variable is None:
+            return row
+        if node_pattern.variable in row:
+            bound = row[node_pattern.variable]
+            if isinstance(bound, Node) and bound.node_id == node.node_id:
+                return row
+            return None
+        new_row = dict(row)
+        new_row[node_pattern.variable] = node
+        return new_row
+
+    def _should_reverse(
+        self, elements: list[Union[ast.NodePattern, ast.RelPattern]], row: Row
+    ) -> bool:
+        first = elements[0]
+        last = elements[-1]
+        assert isinstance(first, ast.NodePattern) and isinstance(last, ast.NodePattern)
+        return _node_selectivity(last, row) > _node_selectivity(first, row)
+
+    # -- UNWIND ----------------------------------------------------------
+
+    def apply_unwind(self, rows: list[Row], clause: ast.UnwindClause) -> list[Row]:
+        output: list[Row] = []
+        for row in rows:
+            value = self.evaluator.evaluate(clause.expression, row)
+            if value is None:
+                continue
+            if not isinstance(value, list):
+                value = [value]
+            for item in value:
+                new_row = dict(row)
+                new_row[clause.variable] = item
+                output.append(new_row)
+        return output
+
+    # -- WITH / RETURN ----------------------------------------------------
+
+    def apply_with(self, rows: list[Row], clause: ast.WithClause) -> list[Row]:
+        projected = self._project(rows, clause)
+        output = [dict(zip(projected.keys, record.values())) for record in projected.records]
+        if clause.where is not None:
+            output = [
+                row
+                for row in output
+                if is_truthy(self.evaluator.evaluate(clause.where, row)) is True
+            ]
+        return output
+
+    def apply_return(self, rows: list[Row], clause: ast.ReturnClause) -> ResultSet:
+        return self._project(rows, clause)
+
+    def _project(self, rows: list[Row], clause: ast.ProjectionClause) -> ResultSet:
+        items = list(clause.items)
+        if clause.star:
+            in_scope = sorted({name for row in rows for name in row})
+            star_items = [
+                ast.ReturnItem(expression=ast.Variable(name), alias=name)
+                for name in in_scope
+            ]
+            items = star_items + items
+        if not items:
+            raise CypherSyntaxError("projection requires at least one item")
+        keys = [item.output_name() for item in items]
+        aggregated = any(_contains_aggregate(item.expression) for item in items)
+
+        # Each produced row is (values, order_env_rows) where order_env_rows
+        # are the source rows ORDER BY may need (group rows when aggregated).
+        produced: list[tuple[list[Any], list[Row]]] = []
+        if aggregated:
+            produced = self._project_grouped(rows, items)
+        else:
+            for row in rows:
+                values = [self.evaluator.evaluate(item.expression, row) for item in items]
+                produced.append((values, [row]))
+
+        if clause.distinct:
+            seen: set[Any] = set()
+            unique: list[tuple[list[Any], list[Row]]] = []
+            for values, env in produced:
+                frozen = _freeze(values)
+                if frozen in seen:
+                    continue
+                seen.add(frozen)
+                unique.append((values, env))
+            produced = unique
+
+        if clause.order_by:
+            produced = self._order(produced, clause.order_by, items, keys, aggregated)
+
+        start = 0
+        if clause.skip is not None:
+            start = self._bounded_int(clause.skip, "SKIP")
+        end: Optional[int] = None
+        if clause.limit is not None:
+            end = start + self._bounded_int(clause.limit, "LIMIT")
+        produced = produced[start:end]
+
+        records = [Record(keys, values) for values, _ in produced]
+        return ResultSet(keys, records)
+
+    def _project_grouped(
+        self, rows: list[Row], items: list[ast.ReturnItem]
+    ) -> list[tuple[list[Any], list[Row]]]:
+        grouping_indices = [
+            i for i, item in enumerate(items) if not _contains_aggregate(item.expression)
+        ]
+        groups: dict[Any, tuple[list[Any], list[Row]]] = {}
+        order: list[Any] = []
+        for row in rows:
+            group_values = [
+                self.evaluator.evaluate(items[i].expression, row) for i in grouping_indices
+            ]
+            group_key = _freeze(group_values)
+            if group_key not in groups:
+                groups[group_key] = (group_values, [])
+                order.append(group_key)
+            groups[group_key][1].append(row)
+
+        if not rows and not grouping_indices:
+            # Aggregates over zero rows still produce one row (count(*) = 0).
+            groups[()] = ([], [])
+            order.append(())
+
+        produced: list[tuple[list[Any], list[Row]]] = []
+        for group_key in order:
+            group_values, group_rows = groups[group_key]
+            values: list[Any] = []
+            group_iter = iter(group_values)
+            for i, item in enumerate(items):
+                if i in grouping_indices:
+                    values.append(next(group_iter))
+                else:
+                    values.append(self.evaluator.evaluate_aggregate(item.expression, group_rows))
+            produced.append((values, group_rows))
+        return produced
+
+    def _order(
+        self,
+        produced: list[tuple[list[Any], list[Row]]],
+        order_by: tuple[ast.OrderItem, ...],
+        items: list[ast.ReturnItem],
+        keys: list[str],
+        aggregated: bool,
+    ) -> list[tuple[list[Any], list[Row]]]:
+        def order_values(entry: tuple[list[Any], list[Row]]) -> tuple:
+            values, env_rows = entry
+            alias_env = dict(zip(keys, values))
+            base = dict(env_rows[0]) if env_rows else {}
+            base.update(alias_env)
+            sort_parts = []
+            for order_item in order_by:
+                if aggregated and _contains_aggregate(order_item.expression):
+                    value = self.evaluator.evaluate_aggregate(order_item.expression, env_rows)
+                else:
+                    value = self.evaluator.evaluate(order_item.expression, base)
+                key = sort_key(value)
+                if order_item.descending:
+                    sort_parts.append(_Descending(key))
+                else:
+                    sort_parts.append(key)
+            return tuple(sort_parts)
+
+        return sorted(produced, key=order_values)
+
+    def _bounded_int(self, expr: ast.Expr, what: str) -> int:
+        value = self.evaluator.evaluate(expr, {})
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise CypherRuntimeError(f"{what} requires a non-negative integer, got {value!r}")
+        return value
+
+    # -- Writes -----------------------------------------------------------
+
+    def apply_create(self, rows: list[Row], clause: ast.CreateClause) -> list[Row]:
+        output = []
+        for row in rows:
+            new_row = dict(row)
+            for part in clause.pattern.parts:
+                new_row = self._create_part(part, new_row)
+            output.append(new_row)
+        return output
+
+    def _create_part(self, part: ast.PatternPart, row: Row) -> Row:
+        elements = part.elements
+        nodes: list[Node] = []
+        rels: list[Relationship] = []
+        previous: Optional[Node] = None
+        pending_rel: Optional[ast.RelPattern] = None
+        for element in elements:
+            if isinstance(element, ast.NodePattern):
+                node = self._create_or_reuse_node(element, row)
+                nodes.append(node)
+                if pending_rel is not None:
+                    rel = self._create_rel(pending_rel, previous, node, row)
+                    rels.append(rel)
+                    if pending_rel.variable is not None:
+                        row[pending_rel.variable] = rel
+                    pending_rel = None
+                previous = node
+            else:
+                pending_rel = element
+        if part.path_variable is not None:
+            row[part.path_variable] = Path(nodes, rels)
+        return row
+
+    def _create_or_reuse_node(self, node_pattern: ast.NodePattern, row: Row) -> Node:
+        if node_pattern.variable is not None and node_pattern.variable in row:
+            bound = row[node_pattern.variable]
+            if not isinstance(bound, Node):
+                raise CypherTypeError(
+                    f"CREATE cannot reuse non-node variable {node_pattern.variable!r}"
+                )
+            if node_pattern.labels or node_pattern.properties:
+                raise CypherSyntaxError(
+                    "cannot specify labels or properties on a bound variable in CREATE"
+                )
+            return bound
+        if not node_pattern.labels:
+            raise CypherRuntimeError("CREATE requires at least one label on new nodes")
+        properties = {
+            key: self.evaluator.evaluate(expr, row) for key, expr in node_pattern.properties
+        }
+        node = self.store.create_node(node_pattern.labels, properties)
+        self.nodes_created += 1
+        self.properties_set += len([v for v in properties.values() if v is not None])
+        if node_pattern.variable is not None:
+            row[node_pattern.variable] = node
+        return node
+
+    def _create_rel(
+        self,
+        rel_pattern: ast.RelPattern,
+        start: Optional[Node],
+        end: Node,
+        row: Row,
+    ) -> Relationship:
+        if start is None:
+            raise CypherRuntimeError("relationship in CREATE lacks a start node")
+        if len(rel_pattern.types) != 1:
+            raise CypherSyntaxError("CREATE requires exactly one relationship type")
+        if rel_pattern.direction == "both":
+            raise CypherSyntaxError("CREATE requires a directed relationship")
+        if rel_pattern.var_length:
+            raise CypherSyntaxError("CREATE cannot use variable-length relationships")
+        properties = {
+            key: self.evaluator.evaluate(expr, row) for key, expr in rel_pattern.properties
+        }
+        if rel_pattern.direction == "out":
+            rel = self.store.create_relationship(start.node_id, rel_pattern.types[0], end.node_id, properties)
+        else:
+            rel = self.store.create_relationship(end.node_id, rel_pattern.types[0], start.node_id, properties)
+        self.relationships_created += 1
+        self.properties_set += len([v for v in properties.values() if v is not None])
+        return rel
+
+    def apply_merge(self, rows: list[Row], clause: ast.MergeClause) -> list[Row]:
+        output: list[Row] = []
+        for row in rows:
+            matches = [
+                matched for matched, _ in self._match_part(clause.part, row, frozenset())
+            ]
+            if matches:
+                for matched in matches:
+                    self._apply_set_items(clause.on_match, matched)
+                    output.append(matched)
+            else:
+                created = self._create_part(clause.part, dict(row))
+                self._apply_set_items(clause.on_create, created)
+                output.append(created)
+        return output
+
+    def apply_set(self, rows: list[Row], clause: ast.SetClause) -> list[Row]:
+        for row in rows:
+            self._apply_set_items(clause.items, row)
+        return rows
+
+    def _apply_set_items(self, items: tuple[ast.SetItem, ...], row: Row) -> None:
+        for item in items:
+            target = row.get(item.variable)
+            if target is None:
+                continue
+            if item.kind == "property":
+                value = self.evaluator.evaluate(item.expression, row)
+                self._set_property(target, item.key, value)
+            elif item.kind in ("merge_map", "replace_map"):
+                value = self.evaluator.evaluate(item.expression, row)
+                if isinstance(value, (Node, Relationship)):
+                    value = dict(value.properties)
+                if not isinstance(value, dict):
+                    raise CypherTypeError(f"SET {item.variable} = ... expects a map")
+                if item.kind == "replace_map":
+                    if not isinstance(target, (Node, Relationship)):
+                        raise CypherTypeError(f"cannot SET properties on {target!r}")
+                    for key in list(target.properties):
+                        self._set_property(target, key, None)
+                for key, val in value.items():
+                    self._set_property(target, key, val)
+            elif item.kind == "label":
+                raise CypherRuntimeError("SET label is not supported")
+
+    def _set_property(self, target: Any, key: str, value: Any) -> None:
+        if isinstance(target, Node):
+            self.store.set_node_property(target.node_id, key, value)
+        elif isinstance(target, Relationship):
+            self.store.set_relationship_property(target.rel_id, key, value)
+        else:
+            raise CypherTypeError(f"cannot SET property on {target!r}")
+        self.properties_set += 1
+
+    def apply_delete(self, rows: list[Row], clause: ast.DeleteClause) -> list[Row]:
+        nodes_to_delete: dict[int, Node] = {}
+        rels_to_delete: dict[int, Relationship] = {}
+        for row in rows:
+            for expr in clause.expressions:
+                value = self.evaluator.evaluate(expr, row)
+                if value is None:
+                    continue
+                if isinstance(value, Node):
+                    nodes_to_delete[value.node_id] = value
+                elif isinstance(value, Relationship):
+                    rels_to_delete[value.rel_id] = value
+                elif isinstance(value, Path):
+                    for node in value.nodes:
+                        nodes_to_delete[node.node_id] = node
+                    for rel in value.relationships:
+                        rels_to_delete[rel.rel_id] = rel
+                else:
+                    raise CypherTypeError(f"DELETE expects nodes/relationships, got {value!r}")
+        for rel_id in rels_to_delete:
+            if self.store.has_node(self.store.relationship(rel_id).start_id):
+                self.store.delete_relationship(rel_id)
+                self.relationships_deleted += 1
+        for node_id in nodes_to_delete:
+            before = self.store.relationship_count
+            self.store.delete_node(node_id, detach=clause.detach)
+            self.relationships_deleted += before - self.store.relationship_count
+            self.nodes_deleted += 1
+        return rows
+
+    def apply_remove(self, rows: list[Row], clause: ast.RemoveClause) -> list[Row]:
+        for row in rows:
+            for item in clause.items:
+                target = row.get(item.variable)
+                if target is None:
+                    continue
+                if item.kind == "property":
+                    self._set_property(target, item.key, None)
+                else:
+                    raise CypherRuntimeError("REMOVE label is not supported")
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+class _Evaluator:
+    """Evaluates expression ASTs against a row environment."""
+
+    def __init__(self, context: _ExecutionContext) -> None:
+        self.context = context
+
+    def evaluate(self, expr: ast.Expr, row: Row) -> Any:
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            raise CypherRuntimeError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr, row)
+
+    # -- atoms ----------------------------------------------------------
+
+    def _eval_Literal(self, expr: ast.Literal, row: Row) -> Any:
+        return expr.value
+
+    def _eval_Parameter(self, expr: ast.Parameter, row: Row) -> Any:
+        if expr.name not in self.context.params:
+            raise CypherRuntimeError(f"missing parameter: ${expr.name}")
+        return self.context.params[expr.name]
+
+    def _eval_Variable(self, expr: ast.Variable, row: Row) -> Any:
+        if expr.name not in row:
+            raise CypherRuntimeError(f"unknown variable: {expr.name}")
+        return row[expr.name]
+
+    def _eval_PropertyAccess(self, expr: ast.PropertyAccess, row: Row) -> Any:
+        subject = self.evaluate(expr.subject, row)
+        if subject is None:
+            return None
+        if isinstance(subject, (Node, Relationship)):
+            return subject.properties.get(expr.key)
+        if isinstance(subject, dict):
+            return subject.get(expr.key)
+        raise CypherTypeError(
+            f"cannot access property {expr.key!r} on {type(subject).__name__}"
+        )
+
+    def _eval_Subscript(self, expr: ast.Subscript, row: Row) -> Any:
+        subject = self.evaluate(expr.subject, row)
+        index = self.evaluate(expr.index, row)
+        if subject is None or index is None:
+            return None
+        if isinstance(subject, list):
+            if isinstance(index, bool) or not isinstance(index, int):
+                raise CypherTypeError(f"list index must be an integer, got {index!r}")
+            if -len(subject) <= index < len(subject):
+                return subject[index]
+            return None
+        if isinstance(subject, (dict,)):
+            return subject.get(index)
+        if isinstance(subject, (Node, Relationship)):
+            return subject.properties.get(index)
+        raise CypherTypeError(f"cannot subscript {type(subject).__name__}")
+
+    def _eval_Slice(self, expr: ast.Slice, row: Row) -> Any:
+        subject = self.evaluate(expr.subject, row)
+        if subject is None:
+            return None
+        if not isinstance(subject, list):
+            raise CypherTypeError("slicing requires a list")
+        start = self.evaluate(expr.start, row) if expr.start is not None else None
+        end = self.evaluate(expr.end, row) if expr.end is not None else None
+        return subject[start:end]
+
+    def _eval_ListLiteral(self, expr: ast.ListLiteral, row: Row) -> list[Any]:
+        return [self.evaluate(item, row) for item in expr.items]
+
+    def _eval_MapLiteral(self, expr: ast.MapLiteral, row: Row) -> dict[str, Any]:
+        return {key: self.evaluate(value, row) for key, value in expr.items}
+
+    # -- operators --------------------------------------------------------
+
+    def _eval_UnaryOp(self, expr: ast.UnaryOp, row: Row) -> Any:
+        value = self.evaluate(expr.operand, row)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise CypherTypeError(f"unary {expr.op} expects a number, got {value!r}")
+        return -value if expr.op == "-" else +value
+
+    def _eval_BinaryOp(self, expr: ast.BinaryOp, row: Row) -> Any:
+        left = self.evaluate(expr.left, row)
+        right = self.evaluate(expr.right, row)
+        if left is None or right is None:
+            return None
+        op = expr.op
+        if op == "+":
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right
+            if isinstance(left, list) and isinstance(right, list):
+                return left + right
+            if isinstance(left, list):
+                return left + [right]
+            if isinstance(right, list):
+                return [left] + right
+            if isinstance(left, str) or isinstance(right, str):
+                # Neo4j allows string + number concatenation
+                return f"{_concat_text(left)}{_concat_text(right)}"
+        if isinstance(left, bool) or isinstance(right, bool):
+            raise CypherTypeError(f"operator {op} does not accept booleans")
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            raise CypherTypeError(f"operator {op} expects numbers, got {left!r}, {right!r}")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                if isinstance(left, int) and isinstance(right, int):
+                    raise CypherRuntimeError("integer division by zero")
+                return float("inf") if left > 0 else float("-inf") if left < 0 else float("nan")
+            if isinstance(left, int) and isinstance(right, int):
+                quotient = abs(left) // abs(right)
+                return quotient if (left >= 0) == (right >= 0) else -quotient
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise CypherRuntimeError("modulo by zero")
+            return math_fmod(left, right)
+        if op == "^":
+            return float(left) ** float(right)
+        raise CypherRuntimeError(f"unknown operator {op}")
+
+    def _eval_Comparison(self, expr: ast.Comparison, row: Row) -> Optional[bool]:
+        values = [self.evaluate(operand, row) for operand in expr.operands]
+        result: Optional[bool] = True
+        for op, left, right in zip(expr.ops, values, values[1:]):
+            outcome = self._compare_once(op, left, right)
+            if outcome is False:
+                return False
+            if outcome is None:
+                result = None
+        return result
+
+    def _compare_once(self, op: str, left: Any, right: Any) -> Optional[bool]:
+        if op == "=":
+            return cypher_equals(left, right)
+        if op == "<>":
+            equal = cypher_equals(left, right)
+            return None if equal is None else not equal
+        if op == "=~":
+            if left is None or right is None:
+                return None
+            if not isinstance(left, str) or not isinstance(right, str):
+                raise CypherTypeError("=~ expects string operands")
+            return regex_match(left, right)
+        comparison = cypher_compare(left, right)
+        if comparison is None:
+            return None
+        if op == "<":
+            return comparison < 0
+        if op == ">":
+            return comparison > 0
+        if op == "<=":
+            return comparison <= 0
+        if op == ">=":
+            return comparison >= 0
+        raise CypherRuntimeError(f"unknown comparison {op}")
+
+    def _eval_BooleanOp(self, expr: ast.BooleanOp, row: Row) -> Optional[bool]:
+        saw_null = False
+        if expr.op == "AND":
+            for operand in expr.operands:
+                value = is_truthy(self.evaluate(operand, row))
+                if value is False:
+                    return False
+                if value is None:
+                    saw_null = True
+            return None if saw_null else True
+        if expr.op == "OR":
+            for operand in expr.operands:
+                value = is_truthy(self.evaluate(operand, row))
+                if value is True:
+                    return True
+                if value is None:
+                    saw_null = True
+            return None if saw_null else False
+        # XOR
+        result: Optional[bool] = False
+        for operand in expr.operands:
+            value = is_truthy(self.evaluate(operand, row))
+            if value is None:
+                return None
+            result = bool(result) ^ value
+        return result
+
+    def _eval_NotOp(self, expr: ast.NotOp, row: Row) -> Optional[bool]:
+        value = is_truthy(self.evaluate(expr.operand, row))
+        return None if value is None else not value
+
+    def _eval_IsNull(self, expr: ast.IsNull, row: Row) -> bool:
+        value = self.evaluate(expr.operand, row)
+        return (value is not None) if expr.negated else (value is None)
+
+    def _eval_StringPredicate(self, expr: ast.StringPredicate, row: Row) -> Optional[bool]:
+        left = self.evaluate(expr.left, row)
+        right = self.evaluate(expr.right, row)
+        if left is None or right is None:
+            return None
+        if not isinstance(left, str) or not isinstance(right, str):
+            return None
+        if expr.op == "STARTS":
+            return left.startswith(right)
+        if expr.op == "ENDS":
+            return left.endswith(right)
+        return right in left
+
+    def _eval_InList(self, expr: ast.InList, row: Row) -> Optional[bool]:
+        value = self.evaluate(expr.value, row)
+        container = self.evaluate(expr.container, row)
+        if container is None:
+            return None
+        if not isinstance(container, list):
+            raise CypherTypeError(f"IN expects a list, got {container!r}")
+        saw_null = False
+        for item in container:
+            equal = cypher_equals(value, item)
+            if equal is True:
+                return True
+            if equal is None:
+                saw_null = True
+        return None if saw_null else False
+
+    def _eval_CaseExpr(self, expr: ast.CaseExpr, row: Row) -> Any:
+        if expr.subject is not None:
+            subject = self.evaluate(expr.subject, row)
+            for condition, result in expr.whens:
+                if cypher_equals(subject, self.evaluate(condition, row)) is True:
+                    return self.evaluate(result, row)
+        else:
+            for condition, result in expr.whens:
+                if is_truthy(self.evaluate(condition, row)) is True:
+                    return self.evaluate(result, row)
+        if expr.default is not None:
+            return self.evaluate(expr.default, row)
+        return None
+
+    def _eval_ListComprehension(self, expr: ast.ListComprehension, row: Row) -> Any:
+        source = self.evaluate(expr.source, row)
+        if source is None:
+            return None
+        if not isinstance(source, list):
+            raise CypherTypeError("list comprehension requires a list source")
+        output = []
+        for item in source:
+            inner = dict(row)
+            inner[expr.variable] = item
+            if expr.predicate is not None:
+                if is_truthy(self.evaluate(expr.predicate, inner)) is not True:
+                    continue
+            if expr.projection is not None:
+                output.append(self.evaluate(expr.projection, inner))
+            else:
+                output.append(item)
+        return output
+
+    def _eval_Quantifier(self, expr: ast.Quantifier, row: Row) -> Optional[bool]:
+        source = self.evaluate(expr.source, row)
+        if source is None:
+            return None
+        if not isinstance(source, list):
+            raise CypherTypeError(f"{expr.kind}() requires a list, got {source!r}")
+        trues = falses = nulls = 0
+        for item in source:
+            inner = dict(row)
+            inner[expr.variable] = item
+            outcome = is_truthy(self.evaluate(expr.predicate, inner))
+            if outcome is True:
+                trues += 1
+            elif outcome is False:
+                falses += 1
+            else:
+                nulls += 1
+        if expr.kind == "any":
+            if trues > 0:
+                return True
+            return None if nulls else False
+        if expr.kind == "all":
+            if falses > 0:
+                return False
+            return None if nulls else True
+        if expr.kind == "none":
+            if trues > 0:
+                return False
+            return None if nulls else True
+        # single: exactly one true
+        if nulls:
+            return None
+        return trues == 1
+
+    def _eval_Reduce(self, expr: ast.Reduce, row: Row) -> Any:
+        source = self.evaluate(expr.source, row)
+        if source is None:
+            return None
+        if not isinstance(source, list):
+            raise CypherTypeError(f"reduce() requires a list, got {source!r}")
+        accumulator = self.evaluate(expr.initial, row)
+        for item in source:
+            inner = dict(row)
+            inner[expr.accumulator] = accumulator
+            inner[expr.variable] = item
+            accumulator = self.evaluate(expr.expression, inner)
+        return accumulator
+
+    def _eval_PatternPredicate(self, expr: ast.PatternPredicate, row: Row) -> bool:
+        pattern = ast.Pattern(parts=(expr.pattern,))
+        for _ in self.context.match_pattern(pattern, row):
+            return True
+        return False
+
+    def _eval_PatternComprehension(self, expr: ast.PatternComprehension, row: Row) -> list[Any]:
+        pattern = ast.Pattern(parts=(expr.pattern,))
+        output: list[Any] = []
+        for matched in self.context.match_pattern(pattern, row):
+            if expr.predicate is not None:
+                if is_truthy(self.evaluate(expr.predicate, matched)) is not True:
+                    continue
+            output.append(self.evaluate(expr.projection, matched))
+        return output
+
+    def _eval_ExistsExpr(self, expr: ast.ExistsExpr, row: Row) -> bool:
+        if isinstance(expr.target, ast.PatternPart):
+            pattern = ast.Pattern(parts=(expr.target,))
+            for _ in self.context.match_pattern(pattern, row):
+                return True
+            return False
+        return self.evaluate(expr.target, row) is not None
+
+    def _eval_CountStar(self, expr: ast.CountStar, row: Row) -> Any:
+        raise CypherSyntaxError("count(*) is only allowed in a projection")
+
+    def _eval_FunctionCall(self, expr: ast.FunctionCall, row: Row) -> Any:
+        if is_aggregate_function(expr.name):
+            raise CypherSyntaxError(
+                f"aggregate function {expr.name}() is only allowed in a projection"
+            )
+        args = [self.evaluate(arg, row) for arg in expr.args]
+        return call_scalar(self.context.store, expr.name, args)
+
+    # -- aggregation ------------------------------------------------------
+
+    def evaluate_aggregate(self, expr: ast.Expr, group_rows: list[Row]) -> Any:
+        """Evaluate ``expr`` in aggregate context over ``group_rows``.
+
+        Aggregate calls consume the whole group; everything else is
+        evaluated against the group's first row (grouping keys are constant
+        within a group by construction).
+        """
+        if isinstance(expr, ast.CountStar):
+            return len(group_rows)
+        if isinstance(expr, ast.FunctionCall) and is_aggregate_function(expr.name):
+            name = expr.name.lower()
+            if name in ("percentilecont", "percentiledisc"):
+                if len(expr.args) != 2:
+                    raise CypherRuntimeError(f"{expr.name}() expects two arguments")
+                values = [self.evaluate(expr.args[0], row) for row in group_rows]
+                first = group_rows[0] if group_rows else {}
+                fraction = self.evaluate(expr.args[1], first)
+                return percentile(values, float(fraction), disc=name.endswith("disc"))
+            if len(expr.args) != 1:
+                raise CypherRuntimeError(f"{expr.name}() expects one argument")
+            values = [self.evaluate(expr.args[0], row) for row in group_rows]
+            return call_aggregate(expr.name, values, distinct=expr.distinct)
+        if isinstance(expr, ast.BinaryOp):
+            left = self.evaluate_aggregate(expr.left, group_rows)
+            right = self.evaluate_aggregate(expr.right, group_rows)
+            shim = ast.BinaryOp(op=expr.op, left=ast.Literal(left), right=ast.Literal(right))
+            return self.evaluate(shim, {})
+        if isinstance(expr, ast.UnaryOp):
+            value = self.evaluate_aggregate(expr.operand, group_rows)
+            return self.evaluate(ast.UnaryOp(op=expr.op, operand=ast.Literal(value)), {})
+        if isinstance(expr, ast.Comparison):
+            values = [self.evaluate_aggregate(op, group_rows) for op in expr.operands]
+            shim = ast.Comparison(
+                operands=tuple(ast.Literal(v) for v in values), ops=expr.ops
+            )
+            return self.evaluate(shim, {})
+        if isinstance(expr, ast.FunctionCall):
+            args = [self.evaluate_aggregate(arg, group_rows) for arg in expr.args]
+            return call_scalar(self.context.store, expr.name, args)
+        if isinstance(expr, ast.ListLiteral):
+            return [self.evaluate_aggregate(item, group_rows) for item in expr.items]
+        if isinstance(expr, ast.CaseExpr):
+            first = group_rows[0] if group_rows else {}
+            return self.evaluate(expr, first)
+        first = group_rows[0] if group_rows else {}
+        return self.evaluate(expr, first)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+class _Descending:
+    """Inverts comparison order for DESC sort keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and other.key == self.key
+
+
+def math_fmod(left: float | int, right: float | int) -> float | int:
+    """Cypher ``%``: sign follows the dividend, ints stay ints."""
+    result = abs(left) % abs(right)
+    if left < 0:
+        result = -result
+    if isinstance(left, int) and isinstance(right, int):
+        return int(result)
+    return float(result)
+
+
+def _concat_text(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return f"{value:.1f}"
+    return str(value)
+
+
+def _freeze(value: Any) -> Any:
+    """Convert a value into a hashable group/dedup key."""
+    if isinstance(value, list):
+        return ("list", tuple(_freeze(item) for item in value))
+    if isinstance(value, dict):
+        return ("map", tuple(sorted((k, _freeze(v)) for k, v in value.items())))
+    if isinstance(value, Node):
+        return ("node", value.node_id)
+    if isinstance(value, Relationship):
+        return ("rel", value.rel_id)
+    if isinstance(value, Path):
+        return ("path", tuple(n.node_id for n in value.nodes), tuple(r.rel_id for r in value.relationships))
+    if isinstance(value, float) and value.is_integer():
+        return float(value)
+    return value
+
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    """Walk an expression tree looking for aggregate calls."""
+    if isinstance(expr, ast.CountStar):
+        return True
+    if isinstance(expr, ast.FunctionCall):
+        if is_aggregate_function(expr.name):
+            return True
+        return any(_contains_aggregate(arg) for arg in expr.args)
+    if isinstance(expr, (ast.Literal, ast.Parameter, ast.Variable)):
+        return False
+    if isinstance(expr, ast.PropertyAccess):
+        return _contains_aggregate(expr.subject)
+    if isinstance(expr, ast.Subscript):
+        return _contains_aggregate(expr.subject) or _contains_aggregate(expr.index)
+    if isinstance(expr, ast.Slice):
+        return any(
+            _contains_aggregate(part)
+            for part in (expr.subject, expr.start, expr.end)
+            if part is not None
+        )
+    if isinstance(expr, ast.ListLiteral):
+        return any(_contains_aggregate(item) for item in expr.items)
+    if isinstance(expr, ast.MapLiteral):
+        return any(_contains_aggregate(value) for _, value in expr.items)
+    if isinstance(expr, ast.UnaryOp):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.BinaryOp):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, ast.Comparison):
+        return any(_contains_aggregate(operand) for operand in expr.operands)
+    if isinstance(expr, ast.BooleanOp):
+        return any(_contains_aggregate(operand) for operand in expr.operands)
+    if isinstance(expr, ast.NotOp):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.IsNull):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.StringPredicate):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, ast.InList):
+        return _contains_aggregate(expr.value) or _contains_aggregate(expr.container)
+    if isinstance(expr, ast.CaseExpr):
+        parts: list[ast.Expr] = []
+        if expr.subject is not None:
+            parts.append(expr.subject)
+        for condition, result in expr.whens:
+            parts.extend((condition, result))
+        if expr.default is not None:
+            parts.append(expr.default)
+        return any(_contains_aggregate(part) for part in parts)
+    if isinstance(expr, ast.ListComprehension):
+        parts = [expr.source]
+        if expr.predicate is not None:
+            parts.append(expr.predicate)
+        if expr.projection is not None:
+            parts.append(expr.projection)
+        return any(_contains_aggregate(part) for part in parts)
+    return False
+
+
+def _pattern_variables(pattern: ast.Pattern) -> list[str]:
+    """All variable names a pattern can introduce (for OPTIONAL padding)."""
+    names: list[str] = []
+    for part in pattern.parts:
+        if part.path_variable:
+            names.append(part.path_variable)
+        for element in part.elements:
+            variable = element.variable
+            if variable:
+                names.append(variable)
+    return names
+
+
+def _node_selectivity(node_pattern: ast.NodePattern, row: Row) -> int:
+    """Rough anchor-selection score (bound ≫ property-constrained ≫ labeled)."""
+    if node_pattern.variable is not None and node_pattern.variable in row:
+        return 100
+    score = 0
+    if node_pattern.properties:
+        score += 10
+    if node_pattern.labels:
+        score += 2
+    return score
+
+
+def _reverse_elements(
+    elements: list[Union[ast.NodePattern, ast.RelPattern]],
+) -> list[Union[ast.NodePattern, ast.RelPattern]]:
+    """Reverse a pattern chain, flipping relationship directions."""
+    flipped: list[Union[ast.NodePattern, ast.RelPattern]] = []
+    for element in reversed(elements):
+        if isinstance(element, ast.RelPattern):
+            direction = {"out": "in", "in": "out", "both": "both"}[element.direction]
+            flipped.append(
+                ast.RelPattern(
+                    variable=element.variable,
+                    types=element.types,
+                    direction=direction,
+                    properties=element.properties,
+                    min_hops=element.min_hops,
+                    max_hops=element.max_hops,
+                    var_length=element.var_length,
+                )
+            )
+        else:
+            flipped.append(element)
+    return flipped
+
+
+def _same_rel_binding(existing: Any, candidate: Any) -> bool:
+    """Is a rebound relationship variable consistent with its prior value?"""
+    if isinstance(existing, Relationship) and isinstance(candidate, Relationship):
+        return existing.rel_id == candidate.rel_id
+    if isinstance(existing, list) and isinstance(candidate, list):
+        return [r.rel_id for r in existing] == [r.rel_id for r in candidate]
+    return False

@@ -1,0 +1,196 @@
+"""Tokenizer for the Cypher subset.
+
+Produces a flat token stream consumed by the recursive-descent parser.
+Keywords are case-insensitive (``MATCH`` ≡ ``match``); identifiers keep
+their case.  Backtick-quoted identifiers, single/double quoted strings with
+escapes, line (``//``) and block (``/* */``) comments are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import CypherSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "MATCH", "OPTIONAL", "WHERE", "RETURN", "WITH", "AS", "ORDER", "BY",
+        "SKIP", "LIMIT", "ASC", "ASCENDING", "DESC", "DESCENDING", "AND",
+        "OR", "XOR", "NOT", "IN", "STARTS", "ENDS", "CONTAINS", "IS", "NULL",
+        "TRUE", "FALSE", "DISTINCT", "UNWIND", "UNION", "ALL", "CREATE",
+        "MERGE", "SET", "DELETE", "DETACH", "REMOVE", "CASE", "WHEN", "THEN",
+        "ELSE", "END", "EXISTS", "COUNT", "ON",
+    }
+)
+
+_PUNCTUATION = {
+    "<>": "NEQ",
+    "<=": "LTE",
+    ">=": "GTE",
+    "=~": "REGEQ",
+    "->": "ARROW_RIGHT",
+    "<-": "ARROW_LEFT",
+    "..": "DOTDOT",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    ",": "COMMA",
+    ".": "DOT",
+    ":": "COLON",
+    ";": "SEMICOLON",
+    "|": "PIPE",
+    "=": "EQ",
+    "<": "LT",
+    ">": "GT",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+    "/": "SLASH",
+    "%": "PERCENT",
+    "^": "CARET",
+    "$": "DOLLAR",
+}
+
+_TWO_CHAR = [p for p in _PUNCTUATION if len(p) == 2]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: its category, normalised text and source offset.
+
+    For keywords ``value`` is the upper-cased canonical form while ``raw``
+    preserves the source spelling (needed when a keyword doubles as a label,
+    e.g. IYP's ``:AS``).
+    """
+
+    kind: str  # KEYWORD, IDENT, INT, FLOAT, STRING, PARAM or a punctuation name
+    value: str
+    position: int
+    raw: str = ""
+
+    @property
+    def text(self) -> str:
+        """Source spelling (falls back to ``value`` for non-keywords)."""
+        return self.raw or self.value
+
+    def is_keyword(self, *names: str) -> bool:
+        """True when this token is one of the given keywords."""
+        return self.kind == "KEYWORD" and self.value in names
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`CypherSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise CypherSyntaxError("unterminated block comment", i, text)
+            i = end + 2
+            continue
+        if ch in "'\"":
+            value, i = _read_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch == "`":
+            end = text.find("`", i + 1)
+            if end == -1:
+                raise CypherSyntaxError("unterminated backtick identifier", i, text)
+            tokens.append(Token("IDENT", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            token, i = _read_number(text, i)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start, raw=word))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_PUNCTUATION[two], two, i))
+            i += 2
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, i))
+            i += 1
+            continue
+        raise CypherSyntaxError(f"unexpected character {ch!r}", i, text)
+    tokens.append(Token("EOF", "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    """Read a quoted string starting at ``start``; returns (value, next index)."""
+    quote = text[start]
+    i = start + 1
+    parts: list[str] = []
+    escapes = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", "'": "'", '"': '"', "`": "`"}
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= len(text):
+                raise CypherSyntaxError("dangling escape in string", i, text)
+            nxt = text[i + 1]
+            if nxt == "u" and i + 5 < len(text):
+                parts.append(chr(int(text[i + 2 : i + 6], 16)))
+                i += 6
+                continue
+            parts.append(escapes.get(nxt, nxt))
+            i += 2
+            continue
+        if ch == quote:
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise CypherSyntaxError("unterminated string literal", start, text)
+
+
+def _read_number(text: str, start: int) -> tuple[Token, int]:
+    """Read an integer or float literal starting at ``start``."""
+    i = start
+    n = len(text)
+    while i < n and text[i].isdigit():
+        i += 1
+    is_float = False
+    # A '.' starts a fraction only when followed by a digit, so that `1..3`
+    # (range) and `n.prop` keep their meaning.
+    if i < n and text[i] == "." and i + 1 < n and text[i + 1].isdigit():
+        is_float = True
+        i += 1
+        while i < n and text[i].isdigit():
+            i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j].isdigit():
+            is_float = True
+            i = j
+            while i < n and text[i].isdigit():
+                i += 1
+    value = text[start:i]
+    return Token("FLOAT" if is_float else "INT", value, start), i

@@ -1,0 +1,32 @@
+"""Query safety helpers for exposing the engine over a network."""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .parser import parse
+
+__all__ = ["is_read_only", "WRITE_CLAUSES"]
+
+WRITE_CLAUSES = (
+    ast.CreateClause,
+    ast.MergeClause,
+    ast.SetClause,
+    ast.DeleteClause,
+    ast.RemoveClause,
+)
+
+
+def is_read_only(query: str) -> bool:
+    """True when ``query`` parses and contains no write clause.
+
+    Raises:
+        CypherSyntaxError: if the query does not parse at all (callers
+            usually want to surface that as a 400, not treat it as a write).
+    """
+    tree = parse(query)
+    queries = tree.queries if isinstance(tree, ast.UnionQuery) else (tree,)
+    for single in queries:
+        for clause in single.clauses:
+            if isinstance(clause, WRITE_CLAUSES):
+                return False
+    return True

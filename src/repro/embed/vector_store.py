@@ -1,0 +1,111 @@
+"""A small in-memory vector index with exact top-k cosine search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .model import HashingEmbedding
+
+__all__ = ["VectorEntry", "SearchHit", "VectorStore"]
+
+
+@dataclass
+class VectorEntry:
+    """One indexed item: id, source text, payload and its vector."""
+
+    entry_id: str
+    text: str
+    vector: np.ndarray
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result with its cosine score."""
+
+    entry_id: str
+    text: str
+    score: float
+    metadata: dict[str, Any]
+
+
+class VectorStore:
+    """Exact cosine-similarity search over embedded texts.
+
+    Brute force on a dense matrix — IYP node-description corpora are a few
+    thousand entries, where exact search is both simpler and faster than an
+    approximate index.
+    """
+
+    def __init__(self, embedding: Optional[HashingEmbedding] = None) -> None:
+        self.embedding = embedding or HashingEmbedding()
+        self._entries: list[VectorEntry] = []
+        self._matrix: Optional[np.ndarray] = None
+        self._ids: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, entry_id: str, text: str, metadata: dict[str, Any] | None = None) -> None:
+        """Index ``text`` under ``entry_id`` (ids must be unique)."""
+        if entry_id in self._ids:
+            raise ValueError(f"duplicate vector-store id: {entry_id}")
+        self._ids.add(entry_id)
+        vector = self.embedding.embed(text)
+        self._entries.append(VectorEntry(entry_id, text, vector, dict(metadata or {})))
+        self._matrix = None  # invalidate
+
+    def add_batch(self, items: list[tuple[str, str, dict[str, Any]]]) -> None:
+        """Index many (id, text, metadata) triples."""
+        for entry_id, text, metadata in items:
+            self.add(entry_id, text, metadata)
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            if self._entries:
+                self._matrix = np.stack([entry.vector for entry in self._entries])
+            else:
+                self._matrix = np.zeros((0, self.embedding.dim), dtype=np.float64)
+        return self._matrix
+
+    def search(
+        self,
+        query: str,
+        top_k: int = 5,
+        filter_fn: Callable[[VectorEntry], bool] | None = None,
+        min_score: float = 0.0,
+    ) -> list[SearchHit]:
+        """Top-k entries by cosine similarity to ``query``.
+
+        Args:
+            filter_fn: optional metadata predicate applied before ranking.
+            min_score: drop hits scoring at or below this threshold.
+        """
+        if top_k <= 0 or not self._entries:
+            return []
+        matrix = self._ensure_matrix()
+        query_vector = self.embedding.embed(query)
+        scores = matrix @ query_vector  # rows are unit-norm already
+        order = np.argsort(-scores, kind="stable")
+        hits: list[SearchHit] = []
+        for index in order:
+            entry = self._entries[int(index)]
+            score = float(scores[int(index)])
+            if score <= min_score:
+                break
+            if filter_fn is not None and not filter_fn(entry):
+                continue
+            hits.append(SearchHit(entry.entry_id, entry.text, score, dict(entry.metadata)))
+            if len(hits) >= top_k:
+                break
+        return hits
+
+    def get(self, entry_id: str) -> Optional[VectorEntry]:
+        """Fetch one entry by id (None when missing)."""
+        for entry in self._entries:
+            if entry.entry_id == entry_id:
+                return entry
+        return None

@@ -1,0 +1,85 @@
+"""Evaluation: CypherEval dataset, validation model, metrics, harness, reports."""
+
+from .analysis import (
+    FailureClass,
+    classify_failure,
+    failure_breakdown,
+    improvement_headroom,
+    render_failure_table,
+)
+from .cyphereval import (
+    DIFFICULTIES,
+    DOMAINS,
+    TEMPLATES,
+    EvalQuestion,
+    QuestionTemplate,
+    build_cyphereval,
+    dataset_summary,
+)
+from .harness import (
+    METRIC_KEYS,
+    EvaluationHarness,
+    EvaluationReport,
+    QuestionEvaluation,
+)
+from .humansim import HumanPanel, annotate_report
+from .paraphrase import ParaphrasePenalty, paraphrase_penalty
+from .reference import Reference, ValidationModel, gold_facts
+from .report import (
+    ascii_histogram,
+    figure_2a_table,
+    figure_2b_table,
+    finding1_table,
+    finding2_table,
+    report_to_csv,
+    template_table,
+)
+from .stats import (
+    SummaryStats,
+    bimodality_coefficient,
+    bootstrap_ci,
+    histogram,
+    pearson,
+    spearman,
+    summary,
+)
+
+__all__ = [
+    "EvalQuestion",
+    "QuestionTemplate",
+    "TEMPLATES",
+    "DIFFICULTIES",
+    "DOMAINS",
+    "build_cyphereval",
+    "dataset_summary",
+    "ValidationModel",
+    "Reference",
+    "gold_facts",
+    "EvaluationHarness",
+    "EvaluationReport",
+    "QuestionEvaluation",
+    "METRIC_KEYS",
+    "HumanPanel",
+    "annotate_report",
+    "ParaphrasePenalty",
+    "paraphrase_penalty",
+    "pearson",
+    "spearman",
+    "summary",
+    "SummaryStats",
+    "histogram",
+    "bimodality_coefficient",
+    "bootstrap_ci",
+    "figure_2a_table",
+    "figure_2b_table",
+    "finding1_table",
+    "finding2_table",
+    "ascii_histogram",
+    "report_to_csv",
+    "template_table",
+    "FailureClass",
+    "classify_failure",
+    "failure_breakdown",
+    "render_failure_table",
+    "improvement_headroom",
+]

@@ -1,0 +1,128 @@
+"""Failure-mode analysis — the "directions for improvement" of the poster.
+
+The evaluation records full pipeline provenance for every question
+(intent, injected perturbation, translation failures, fallback use).  This
+module aggregates those diagnostics into an error taxonomy: *why* did
+low-scoring answers fail, and what would fixing each failure class buy?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .harness import EvaluationReport, QuestionEvaluation
+
+__all__ = [
+    "FailureClass",
+    "classify_failure",
+    "failure_breakdown",
+    "render_failure_table",
+    "improvement_headroom",
+]
+
+#: taxonomy order (also display order)
+FAILURE_CLASSES = (
+    "clean_translation",
+    "perturbed:wrong_reltype",
+    "perturbed:wrong_direction",
+    "perturbed:drop_filter",
+    "perturbed:wrong_entity",
+    "perturbed:syntax_error",
+    "translation_failed",
+    "sparse_fallback",
+)
+
+
+@dataclass(frozen=True)
+class FailureClass:
+    """One row of the failure breakdown."""
+
+    name: str
+    count: int
+    share: float
+    mean_geval: float
+    above_75: float
+
+
+def classify_failure(evaluation: QuestionEvaluation) -> str:
+    """Assign one taxonomy class to an evaluated question."""
+    generation = evaluation.diagnostics.get("generation", {}) or {}
+    perturbation = generation.get("perturbation")
+    symbolic_error = evaluation.diagnostics.get("symbolic_error")
+    if symbolic_error == "translation_failed":
+        return "translation_failed"
+    if perturbation:
+        return f"perturbed:{perturbation}"
+    if evaluation.diagnostics.get("sparse") and evaluation.used_fallback:
+        return "sparse_fallback"
+    return "clean_translation"
+
+
+def failure_breakdown(report: EvaluationReport) -> list[FailureClass]:
+    """Aggregate the report into taxonomy rows (empty classes skipped)."""
+    buckets: dict[str, list[QuestionEvaluation]] = {}
+    for evaluation in report.evaluations:
+        buckets.setdefault(classify_failure(evaluation), []).append(evaluation)
+    total = len(report) or 1
+    rows = []
+    for name in FAILURE_CLASSES:
+        members = buckets.get(name, [])
+        if not members:
+            continue
+        scores = [member.scores["geval"] for member in members]
+        rows.append(
+            FailureClass(
+                name=name,
+                count=len(members),
+                share=len(members) / total,
+                mean_geval=sum(scores) / len(scores),
+                above_75=sum(1 for s in scores if s > 0.75) / len(scores),
+            )
+        )
+    return rows
+
+
+def render_failure_table(report: EvaluationReport) -> str:
+    """Readable failure-taxonomy table, overall and per difficulty."""
+    lines = ["Failure-mode analysis (why answers scored what they scored)"]
+    header = f"{'class':28s} {'n':>4s} {'share':>7s} {'mean G-Eval':>12s} {'>0.75':>7s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in failure_breakdown(report):
+        lines.append(
+            f"{row.name:28s} {row.count:4d} {row.share:7.1%} "
+            f"{row.mean_geval:12.3f} {row.above_75:7.1%}"
+        )
+    lines.append("")
+    lines.append("Share of clean translations per difficulty:")
+    for difficulty in ("easy", "medium", "hard"):
+        sub = report.filter(difficulty=difficulty)
+        if not len(sub):
+            continue
+        clean = sum(
+            1 for e in sub.evaluations if classify_failure(e) == "clean_translation"
+        )
+        lines.append(f"  {difficulty:7s}: {clean / len(sub):6.1%}  (n={len(sub)})")
+    return "\n".join(lines)
+
+
+def improvement_headroom(report: EvaluationReport) -> dict[str, float]:
+    """Projected overall mean G-Eval if each failure class were fixed.
+
+    "Fixed" means its members scored like today's clean translations — an
+    upper bound on the value of eliminating that error class, which is
+    exactly the prioritisation the poster's outlook calls for.
+    """
+    rows = failure_breakdown(report)
+    clean = next((row for row in rows if row.name == "clean_translation"), None)
+    if clean is None:
+        return {}
+    baseline = report.mean("geval")
+    total = len(report)
+    headroom = {}
+    for row in rows:
+        if row.name == "clean_translation":
+            continue
+        gain = row.count * (clean.mean_geval - row.mean_geval) / total
+        headroom[row.name] = round(baseline + max(gain, 0.0), 4)
+    return headroom

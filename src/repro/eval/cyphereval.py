@@ -1,0 +1,820 @@
+"""CypherEval-style benchmark dataset over the synthetic IYP graph.
+
+The paper evaluates on *CypherEval* (Giakatos et al., LCN 2025): 300+
+natural-language questions over IYP, each annotated with a gold Cypher
+query and labelled by difficulty (Easy / Medium / Hard) across general and
+technical domains.  This module regenerates a dataset with the same
+structure from templates instantiated against the synthetic graph:
+
+* **easy** — one entity, one relationship hop, phrased in vocabulary the
+  whole tooling ecosystem shares;
+* **medium** — aggregation or two hops, occasionally phrased obliquely;
+* **hard** — three-plus hops, thresholds, comparisons, or composition of
+  several sub-questions in one sentence.
+
+Gold Cypher is executable on the graph; gold answers are produced by the
+validation model (:mod:`repro.eval.reference`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..cypher.errors import CypherError
+from ..cypher.executor import CypherEngine
+from ..iyp.generator import IYPDataset
+
+__all__ = ["EvalQuestion", "TEMPLATES", "QuestionTemplate", "build_cyphereval", "dataset_summary"]
+
+DIFFICULTIES = ("easy", "medium", "hard")
+DOMAINS = ("general", "technical")
+
+
+@dataclass(frozen=True)
+class EvalQuestion:
+    """One benchmark item."""
+
+    qid: str
+    question: str
+    gold_cypher: str
+    difficulty: str
+    domain: str
+    template: str
+    entities: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass(frozen=True)
+class QuestionTemplate:
+    """A question family: phrasings + gold query builder + entity sampler."""
+
+    name: str
+    difficulty: str
+    domain: str
+    phrasings: tuple[str, ...]
+    gold: Callable[[dict], str]
+    sampler: Callable[[IYPDataset, random.Random], Optional[dict]]
+    require_rows: bool = True
+
+
+def _quote(value: str) -> str:
+    return "'" + str(value).replace("\\", "\\\\").replace("'", "\\'") + "'"
+
+
+# ---------------------------------------------------------------------------
+# Entity samplers
+# ---------------------------------------------------------------------------
+
+def _sample_as(dataset: IYPDataset, rng: random.Random) -> dict:
+    asn = rng.choice(dataset.asns)
+    return {"asn": asn, "as_name": dataset.as_names[asn]}
+
+
+def _sample_wellknown_as(dataset: IYPDataset, rng: random.Random) -> dict:
+    candidates = [asn for asn in dataset.asns if asn < 100000]
+    asn = rng.choice(candidates or dataset.asns)
+    return {"asn": asn, "as_name": dataset.as_names[asn]}
+
+
+def _sample_as_with_country(dataset: IYPDataset, rng: random.Random) -> dict:
+    asn = rng.choice(dataset.asns)
+    code = dataset.as_country[asn]
+    return {
+        "asn": asn,
+        "country_code": code,
+        "country_name": dataset.country_names[code],
+    }
+
+
+def _sample_population_pair(dataset: IYPDataset, rng: random.Random) -> Optional[dict]:
+    pairs = sorted(dataset.population_share)
+    if not pairs:
+        return None
+    asn, code = rng.choice(pairs)
+    return {
+        "asn": asn,
+        "country_code": code,
+        "country_name": dataset.country_names[code],
+    }
+
+
+def _sample_country(dataset: IYPDataset, rng: random.Random) -> dict:
+    code = rng.choice(dataset.country_codes)
+    return {"country_code": code, "country_name": dataset.country_names[code]}
+
+
+def _sample_country_with_ases(dataset: IYPDataset, rng: random.Random) -> dict:
+    populated = sorted({code for code in dataset.as_country.values()})
+    code = rng.choice(populated)
+    return {"country_code": code, "country_name": dataset.country_names[code]}
+
+
+def _sample_two_countries(dataset: IYPDataset, rng: random.Random) -> dict:
+    first, second = rng.sample(dataset.country_codes, 2)
+    return {
+        "country_code": first,
+        "country_name": dataset.country_names[first],
+        "country_code2": second,
+        "country_name2": dataset.country_names[second],
+    }
+
+
+def _sample_prefix(dataset: IYPDataset, rng: random.Random) -> dict:
+    prefix = rng.choice(dataset.prefixes)
+    return {"prefix": prefix}
+
+
+def _sample_domain(dataset: IYPDataset, rng: random.Random) -> dict:
+    return {"domain": rng.choice(dataset.domains)}
+
+
+def _sample_ixp(dataset: IYPDataset, rng: random.Random) -> dict:
+    return {"ixp": rng.choice(dataset.ixps)}
+
+
+def _sample_ixp_and_as(dataset: IYPDataset, rng: random.Random) -> dict:
+    out = _sample_ixp(dataset, rng)
+    out.update(_sample_wellknown_as(dataset, rng))
+    return out
+
+
+def _sample_two_ases(dataset: IYPDataset, rng: random.Random) -> dict:
+    first, second = rng.sample(dataset.asns, 2)
+    return {"asn": first, "asn2": second}
+
+
+def _sample_tag(dataset: IYPDataset, rng: random.Random) -> dict:
+    return {"tag": rng.choice(dataset.tags)}
+
+
+def _sample_org(dataset: IYPDataset, rng: random.Random) -> dict:
+    return {"org": rng.choice(sorted(dataset.org_nodes))}
+
+
+def _sample_topn(dataset: IYPDataset, rng: random.Random) -> dict:
+    return {"n": rng.choice([3, 5, 10])}
+
+
+def _sample_hege(dataset: IYPDataset, rng: random.Random) -> dict:
+    out = _sample_wellknown_as(dataset, rng)
+    out["hege"] = rng.choice([0.3, 0.5, 0.7])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Templates
+# ---------------------------------------------------------------------------
+
+TEMPLATES: list[QuestionTemplate] = [
+    # ---------------- EASY ----------------
+    QuestionTemplate(
+        name="country_of_as", difficulty="easy", domain="general",
+        phrasings=(
+            "Which country is AS{asn} registered in?",
+            "In which country is AS{asn} based?",
+            "What country is AS{asn} located in?",
+        ),
+        gold=lambda e: (
+            f"MATCH (a:AS {{asn: {e['asn']}}})-[:COUNTRY]->(c:Country) "
+            "RETURN c.name AS country"
+        ),
+        sampler=_sample_as,
+    ),
+    QuestionTemplate(
+        name="name_of_as", difficulty="easy", domain="general",
+        phrasings=(
+            "What is the name of AS{asn}?",
+            "What is AS{asn} called?",
+        ),
+        gold=lambda e: f"MATCH (a:AS {{asn: {e['asn']}}}) RETURN a.name AS name",
+        sampler=_sample_as,
+    ),
+    QuestionTemplate(
+        name="population_share", difficulty="easy", domain="general",
+        phrasings=(
+            "What is the percentage of {country_name}'s population in AS{asn}?",
+            "What share of {country_name}'s population does AS{asn} serve?",
+            "What percentage of the population of {country_name} is served by AS{asn}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[p:POPULATION]->"
+            f"(:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "RETURN p.percent AS percent"
+        ),
+        sampler=_sample_population_pair,
+    ),
+    QuestionTemplate(
+        name="country_population", difficulty="easy", domain="general",
+        phrasings=(
+            "What is the population of {country_name}?",
+            "How large is the population of {country_name}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (c:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "RETURN c.population AS population"
+        ),
+        sampler=_sample_country,
+    ),
+    QuestionTemplate(
+        name="org_of_as", difficulty="easy", domain="general",
+        phrasings=(
+            "What organization manages AS{asn}?",
+            "Which company operates AS{asn}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[:MANAGED_BY]->(o:Organization) "
+            "RETURN o.name AS organization"
+        ),
+        sampler=_sample_as,
+    ),
+    QuestionTemplate(
+        name="website_of_as", difficulty="easy", domain="general",
+        phrasings=(
+            "What is the website URL of AS{asn}?",
+            "What is the homepage URL of AS{asn}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[:WEBSITE]->(u:URL) RETURN u.url AS url"
+        ),
+        sampler=_sample_as,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="prefix_count_of_as", difficulty="easy", domain="technical",
+        phrasings=(
+            "How many prefixes does AS{asn} originate?",
+            "How many prefixes does AS{asn} announce?",
+            "What is the number of prefixes originated by AS{asn}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[:ORIGINATE]->(p:Prefix) "
+            "RETURN count(p) AS prefixes"
+        ),
+        sampler=_sample_as,
+    ),
+    QuestionTemplate(
+        name="origin_of_prefix", difficulty="easy", domain="technical",
+        phrasings=(
+            "Which AS originates the prefix {prefix}?",
+            "What AS announces prefix {prefix}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (a:AS)-[:ORIGINATE]->(:Prefix {{prefix: {_quote(e['prefix'])}}}) "
+            "RETURN a.asn AS asn, a.name AS name"
+        ),
+        sampler=_sample_prefix,
+    ),
+    QuestionTemplate(
+        name="rank_of_as", difficulty="easy", domain="technical",
+        phrasings=(
+            "What is the CAIDA ASRank rank of AS{asn}?",
+            "Where is AS{asn} ranked in CAIDA ASRank?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[r:RANK]->"
+            "(:Ranking {name: 'CAIDA ASRank'}) RETURN r.rank AS rank"
+        ),
+        sampler=_sample_as,
+    ),
+    QuestionTemplate(
+        name="ixps_of_as", difficulty="easy", domain="technical",
+        phrasings=(
+            "Which IXPs is AS{asn} a member of?",
+            "At which internet exchange points is AS{asn} a member?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[:MEMBER_OF]->(i:IXP) "
+            "RETURN i.name AS ixp ORDER BY ixp"
+        ),
+        sampler=_sample_wellknown_as,
+    ),
+    QuestionTemplate(
+        name="tags_of_as", difficulty="easy", domain="technical",
+        phrasings=(
+            "Which tags is AS{asn} categorized with?",
+            "How is AS{asn} classified, which tags does it have?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[:CATEGORIZED]->(t:Tag) "
+            "RETURN t.label AS tag ORDER BY tag"
+        ),
+        sampler=_sample_as,
+    ),
+    QuestionTemplate(
+        name="rank_of_domain", difficulty="easy", domain="general",
+        phrasings=(
+            "What is the rank of {domain} in the Tranco Top 1M ranking?",
+            "Where does {domain} rank in the Tranco Top 1M list?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:DomainName {{name: {_quote(e['domain'])}}})-[r:RANK]->"
+            "(:Ranking {name: 'Tranco Top 1M'}) RETURN r.rank AS rank"
+        ),
+        sampler=_sample_domain,
+    ),
+    QuestionTemplate(
+        name="resolves_of_domain", difficulty="easy", domain="technical",
+        phrasings=(
+            "Which IP addresses does {domain} resolve to?",
+            "What IPs does the domain {domain} resolve to?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:DomainName {{name: {_quote(e['domain'])}}})-[:RESOLVES_TO]->(i:IP) "
+            "RETURN i.ip AS ip ORDER BY ip"
+        ),
+        sampler=_sample_domain,
+    ),
+    QuestionTemplate(
+        name="country_of_ixp", difficulty="easy", domain="general",
+        phrasings=(
+            "In which country is the IXP {ixp} located?",
+            "Which country is {ixp} based in?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:IXP {{name: {_quote(e['ixp'])}}})-[:COUNTRY]->(c:Country) "
+            "RETURN c.name AS country"
+        ),
+        sampler=_sample_ixp,
+    ),
+    # ---------------- MEDIUM ----------------
+    QuestionTemplate(
+        name="as_count_in_country", difficulty="medium", domain="general",
+        phrasings=(
+            "How many ASes are registered in {country_name}?",
+            "What is the total number of networks registered in {country_name}?",
+            "Count the autonomous systems based in {country_name}.",
+        ),
+        gold=lambda e: (
+            f"MATCH (a:AS)-[:COUNTRY]->(:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "RETURN count(a) AS ases"
+        ),
+        sampler=_sample_country_with_ases,
+    ),
+    QuestionTemplate(
+        name="ixps_in_country", difficulty="medium", domain="technical",
+        phrasings=(
+            "Which IXPs operate in {country_name}?",
+            "List the internet exchange points in {country_name}.",
+        ),
+        gold=lambda e: (
+            f"MATCH (i:IXP)-[:COUNTRY]->(:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "RETURN i.name AS ixp ORDER BY ixp"
+        ),
+        sampler=_sample_country,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="member_count_of_ixp", difficulty="medium", domain="technical",
+        phrasings=(
+            "How many ASes are members of {ixp}?",
+            "What is the number of member networks at {ixp}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (a:AS)-[:MEMBER_OF]->(:IXP {{name: {_quote(e['ixp'])}}}) "
+            "RETURN count(a) AS members"
+        ),
+        sampler=_sample_ixp,
+    ),
+    QuestionTemplate(
+        name="peer_count_of_as", difficulty="medium", domain="technical",
+        phrasings=(
+            "How many peers does AS{asn} have?",
+            "With how many networks does AS{asn} maintain peering?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[:PEERS_WITH]-(b:AS) "
+            "RETURN count(DISTINCT b) AS peers"
+        ),
+        sampler=_sample_wellknown_as,
+    ),
+    QuestionTemplate(
+        name="providers_of_as", difficulty="medium", domain="technical",
+        phrasings=(
+            "Who are the upstream providers of AS{asn}?",
+            "Which transit providers serve AS{asn}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (p:AS)-[:PEERS_WITH {{rel: -1}}]->(:AS {{asn: {e['asn']}}}) "
+            "RETURN p.asn AS asn, p.name AS name ORDER BY asn"
+        ),
+        sampler=_sample_as,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="customers_of_as", difficulty="medium", domain="technical",
+        phrasings=(
+            "Which ASes are customers of AS{asn}?",
+            "List the downstream customers of AS{asn}.",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[:PEERS_WITH {{rel: -1}}]->(c:AS) "
+            "RETURN c.asn AS asn ORDER BY asn"
+        ),
+        sampler=_sample_wellknown_as,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="dependencies_of_as", difficulty="medium", domain="technical",
+        phrasings=(
+            "Which ASes does AS{asn} depend on?",
+            "On which networks does AS{asn} rely, by hegemony?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[d:DEPENDS_ON]->(t:AS) "
+            "RETURN t.asn AS asn, d.hege AS hegemony ORDER BY hegemony DESC"
+        ),
+        sampler=_sample_as,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="top_prefix_as_in_country", difficulty="medium", domain="technical",
+        phrasings=(
+            "Which AS in {country_name} originates the most prefixes?",
+            "What network announces the largest number of prefixes in {country_name}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (a:AS)-[:COUNTRY]->(:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "MATCH (a)-[:ORIGINATE]->(p:Prefix) "
+            "RETURN a.asn AS asn, a.name AS name, count(p) AS prefixes "
+            "ORDER BY prefixes DESC LIMIT 1"
+        ),
+        sampler=_sample_country_with_ases,
+    ),
+    QuestionTemplate(
+        name="top_population_as_in_country", difficulty="medium", domain="general",
+        phrasings=(
+            "Which AS serves the largest percentage of {country_name}'s population?",
+            "What network has the biggest population share in {country_name}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (a:AS)-[p:POPULATION]->(:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "RETURN a.asn AS asn, a.name AS name, p.percent AS percent "
+            "ORDER BY percent DESC LIMIT 1"
+        ),
+        sampler=_sample_country_with_ases,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="top_domains", difficulty="medium", domain="general",
+        phrasings=(
+            "What are the top {n} domains in the Tranco Top 1M ranking?",
+            "List the {n} most popular websites according to the Tranco Top 1M ranking.",
+        ),
+        gold=lambda e: (
+            "MATCH (d:DomainName)-[r:RANK]->(:Ranking {name: 'Tranco Top 1M'}) "
+            f"RETURN d.name AS domain ORDER BY r.rank LIMIT {e['n']}"
+        ),
+        sampler=_sample_topn,
+    ),
+    QuestionTemplate(
+        name="tag_as_count", difficulty="medium", domain="general",
+        phrasings=(
+            "How many ASes are categorized as {tag}?",
+            "What is the number of networks tagged {tag}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (a:AS)-[:CATEGORIZED]->(:Tag {{label: {_quote(e['tag'])}}}) "
+            "RETURN count(a) AS ases"
+        ),
+        sampler=_sample_tag,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="ases_of_org", difficulty="medium", domain="general",
+        phrasings=(
+            "Which ASes does the organization {org} manage?",
+            "List the networks operated by {org}.",
+        ),
+        gold=lambda e: (
+            f"MATCH (a:AS)-[:MANAGED_BY]->(:Organization {{name: {_quote(e['org'])}}}) "
+            "RETURN a.asn AS asn ORDER BY asn"
+        ),
+        sampler=_sample_org,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="hostnames_of_domain", difficulty="medium", domain="general",
+        phrasings=(
+            "Which hostnames are part of the domain {domain}?",
+            "What subdomains exist under {domain}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (h:HostName)-[:PART_OF]->(:DomainName {{name: {_quote(e['domain'])}}}) "
+            "RETURN h.name AS hostname ORDER BY hostname"
+        ),
+        sampler=_sample_domain,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="probes_in_country", difficulty="medium", domain="technical",
+        phrasings=(
+            "How many Atlas probes are located in {country_name}?",
+            "What is the number of RIPE Atlas probes in {country_name}?",
+        ),
+        gold=lambda e: (
+            "MATCH (p:AtlasProbe)-[:COUNTRY]->"
+            f"(:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "RETURN count(p) AS probes"
+        ),
+        sampler=_sample_country_with_ases,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="facility_of_ixp", difficulty="medium", domain="general",
+        phrasings=(
+            "In which facility is the IXP {ixp} located?",
+            "Which data center hosts {ixp}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:IXP {{name: {_quote(e['ixp'])}}})-[:LOCATED_IN]->(f:Facility) "
+            "RETURN f.name AS facility"
+        ),
+        sampler=_sample_ixp,
+        require_rows=False,
+    ),
+    # ---------------- HARD ----------------
+    QuestionTemplate(
+        name="peers_population", difficulty="hard", domain="general",
+        phrasings=(
+            "What percentage of {country_name}'s population is served by ASes "
+            "that peer with AS{asn}?",
+            "Considering every network that peers with AS{asn}, what combined "
+            "share of {country_name}'s population do they serve?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[:PEERS_WITH]-(b:AS)"
+            f"-[p:POPULATION]->(:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "RETURN round(sum(p.percent), 1) AS percent"
+        ),
+        sampler=_sample_as_with_country,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="orgs_of_tagged_ases", difficulty="hard", domain="general",
+        phrasings=(
+            "Which organizations manage ASes categorized as {tag}?",
+            "What companies are behind the networks tagged {tag}?",
+        ),
+        gold=lambda e: (
+            "MATCH (o:Organization)<-[:MANAGED_BY]-(a:AS)-[:CATEGORIZED]->"
+            f"(:Tag {{label: {_quote(e['tag'])}}}) "
+            "RETURN DISTINCT o.name AS organization ORDER BY organization"
+        ),
+        sampler=_sample_tag,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="members_of_ixps_in_country", difficulty="hard", domain="technical",
+        phrasings=(
+            "Which ASes are members of IXPs located in {country_name}?",
+            "List every network connected to an internet exchange in {country_name}.",
+        ),
+        gold=lambda e: (
+            "MATCH (a:AS)-[:MEMBER_OF]->(i:IXP)-[:COUNTRY]->"
+            f"(:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "RETURN DISTINCT a.asn AS asn ORDER BY asn"
+        ),
+        sampler=_sample_country,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="origin_as_of_domain", difficulty="hard", domain="technical",
+        phrasings=(
+            "Which ASes originate the prefixes containing the IPs that {domain} "
+            "resolves to?",
+            "Trace {domain}: which networks announce the address space its IPs "
+            "resolve into?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:DomainName {{name: {_quote(e['domain'])}}})-[:RESOLVES_TO]->(:IP)"
+            "-[:PART_OF]->(:Prefix)<-[:ORIGINATE]-(a:AS) "
+            "RETURN DISTINCT a.asn AS asn ORDER BY asn"
+        ),
+        sampler=_sample_domain,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="ixp_members_depending_on_as", difficulty="hard", domain="technical",
+        phrasings=(
+            "How many members of {ixp} depend on AS{asn}?",
+            "Among the networks present at {ixp}, how many rely on AS{asn} "
+            "for transit?",
+        ),
+        gold=lambda e: (
+            f"MATCH (m:AS)-[:MEMBER_OF]->(:IXP {{name: {_quote(e['ixp'])}}}) "
+            f"MATCH (m)-[:DEPENDS_ON]->(:AS {{asn: {e['asn']}}}) "
+            "RETURN count(DISTINCT m) AS members"
+        ),
+        sampler=_sample_ixp_and_as,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="dependents_above_hegemony", difficulty="hard", domain="technical",
+        phrasings=(
+            "Which ASes depend on AS{asn} with hegemony above {hege}?",
+            "What networks are dependent on AS{asn} where the hegemony score "
+            "exceeds {hege}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (s:AS)-[d:DEPENDS_ON]->(:AS {{asn: {e['asn']}}}) "
+            f"WHERE d.hege > {e['hege']} "
+            "RETURN s.asn AS asn, d.hege AS hegemony ORDER BY hegemony DESC"
+        ),
+        sampler=_sample_hege,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="top_eyeball_coverage", difficulty="hard", domain="general",
+        phrasings=(
+            "What is the combined population share of the top {n} eyeball "
+            "networks in {country_name}?",
+            "Adding up the {n} largest population shares in {country_name}, "
+            "what fraction of the population do they cover?",
+        ),
+        gold=lambda e: (
+            f"MATCH (a:AS)-[p:POPULATION]->(:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "WITH p.percent AS pct ORDER BY pct DESC "
+            f"LIMIT {e['n']} RETURN round(sum(pct), 1) AS percent"
+        ),
+        sampler=lambda d, r: {**_sample_country_with_ases(d, r), **_sample_topn(d, r)},
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="country_with_more_ases", difficulty="hard", domain="general",
+        phrasings=(
+            "Between {country_name} and {country_name2}, which has more "
+            "registered ASes?",
+            "Compare {country_name} and {country_name2}: which hosts the "
+            "larger number of networks?",
+        ),
+        gold=lambda e: (
+            "MATCH (a:AS)-[:COUNTRY]->(c:Country) "
+            f"WHERE c.country_code IN [{_quote(e['country_code'])}, {_quote(e['country_code2'])}] "
+            "RETURN c.name AS country, count(a) AS ases ORDER BY ases DESC LIMIT 1"
+        ),
+        sampler=_sample_two_countries,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="best_ranked_prefix_heavy", difficulty="hard", domain="technical",
+        phrasings=(
+            "Among the {n} best-ranked ASes in CAIDA ASRank, which originates "
+            "the most prefixes?",
+            "Take the first {n} networks of CAIDA ASRank and tell me which of "
+            "them announces the most address space.",
+        ),
+        gold=lambda e: (
+            "MATCH (a:AS)-[r:RANK]->(:Ranking {name: 'CAIDA ASRank'}) "
+            f"WHERE r.rank <= {e['n']} "
+            "MATCH (a)-[:ORIGINATE]->(p:Prefix) "
+            "RETURN a.asn AS asn, count(p) AS prefixes ORDER BY prefixes DESC LIMIT 1"
+        ),
+        sampler=_sample_topn,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="shared_ixps_of_two_ases", difficulty="hard", domain="technical",
+        phrasings=(
+            "Which IXPs have both AS{asn} and AS{asn2} as members?",
+            "At which internet exchanges are AS{asn} and AS{asn2} both present?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[:MEMBER_OF]->(i:IXP)"
+            f"<-[:MEMBER_OF]-(:AS {{asn: {e['asn2']}}}) "
+            "RETURN i.name AS ixp ORDER BY ixp"
+        ),
+        sampler=_sample_two_ases,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="v6_prefix_count_of_as", difficulty="medium", domain="technical",
+        phrasings=(
+            "How many IPv6 prefixes does AS{asn} originate?",
+            "What is the number of IPv6 prefixes announced by AS{asn}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (:AS {{asn: {e['asn']}}})-[:ORIGINATE]->(p:Prefix {{af: 6}}) "
+            "RETURN count(p) AS prefixes"
+        ),
+        sampler=_sample_as,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="shortest_as_path", difficulty="hard", domain="technical",
+        phrasings=(
+            "How many hops is the shortest path between AS{asn} and AS{asn2} "
+            "in the peering graph?",
+            "Following peering links, what is the minimum number of hops "
+            "from AS{asn} to AS{asn2}?",
+        ),
+        gold=lambda e: (
+            f"MATCH (a:AS {{asn: {e['asn']}}}), (b:AS {{asn: {e['asn2']}}}) "
+            "MATCH p = shortestPath((a)-[:PEERS_WITH*..10]-(b)) "
+            "RETURN length(p) AS hops"
+        ),
+        sampler=_sample_two_ases,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="rank_compare", difficulty="hard", domain="general",
+        phrasings=(
+            "Which of AS{asn} and AS{asn2} is ranked better in CAIDA ASRank?",
+            "Out of AS{asn} and AS{asn2}, who holds the higher CAIDA ASRank "
+            "position?",
+        ),
+        gold=lambda e: (
+            "MATCH (a:AS)-[r:RANK]->(:Ranking {name: 'CAIDA ASRank'}) "
+            f"WHERE a.asn IN [{e['asn']}, {e['asn2']}] "
+            "RETURN a.asn AS asn, a.name AS name ORDER BY r.rank LIMIT 1"
+        ),
+        sampler=_sample_two_ases,
+        require_rows=False,
+    ),
+    QuestionTemplate(
+        name="prefixes_of_org_country", difficulty="hard", domain="technical",
+        phrasings=(
+            "How many prefixes are originated by ASes managed by organizations "
+            "based in {country_name}?",
+            "Count the prefixes announced by networks whose operating "
+            "organization is registered in {country_name}.",
+        ),
+        gold=lambda e: (
+            "MATCH (o:Organization)-[:COUNTRY]->"
+            f"(:Country {{country_code: {_quote(e['country_code'])}}}) "
+            "MATCH (a:AS)-[:MANAGED_BY]->(o) "
+            "MATCH (a)-[:ORIGINATE]->(p:Prefix) "
+            "RETURN count(DISTINCT p) AS prefixes"
+        ),
+        sampler=_sample_country,
+        require_rows=False,
+    ),
+]
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+def build_cyphereval(
+    dataset: IYPDataset,
+    seed: int = 7,
+    per_template: int = 9,
+    max_attempts: int = 25,
+) -> list[EvalQuestion]:
+    """Instantiate every template ``per_template`` times against ``dataset``.
+
+    With the default 35 templates × 9 instances this yields 300+ questions,
+    matching the scale of the CypherEval benchmark.  Gold queries are
+    validated by execution; templates with ``require_rows`` retry sampling
+    until the gold answer is non-empty.
+    """
+    engine = CypherEngine(dataset.store)
+    rng = random.Random(seed)
+    questions: list[EvalQuestion] = []
+    for template in TEMPLATES:
+        produced = 0
+        seen_questions: set[str] = set()
+        attempts = 0
+        while produced < per_template and attempts < per_template * max_attempts:
+            attempts += 1
+            entities = template.sampler(dataset, rng)
+            if entities is None:
+                break
+            gold = template.gold(entities)
+            try:
+                result = engine.run(gold)
+            except CypherError as exc:  # pragma: no cover - gold must execute
+                raise AssertionError(
+                    f"gold query for template {template.name} failed: {exc}\n{gold}"
+                ) from exc
+            if template.require_rows and not result.records:
+                continue
+            phrasing = template.phrasings[produced % len(template.phrasings)]
+            question = phrasing.format(**entities)
+            if question in seen_questions:
+                continue
+            seen_questions.add(question)
+            questions.append(
+                EvalQuestion(
+                    qid=f"{template.name}-{produced:02d}",
+                    question=question,
+                    gold_cypher=gold,
+                    difficulty=template.difficulty,
+                    domain=template.domain,
+                    template=template.name,
+                    entities=entities,
+                )
+            )
+            produced += 1
+    return questions
+
+
+def dataset_summary(questions: list[EvalQuestion]) -> dict[str, int]:
+    """Counts by difficulty and domain (for reports and sanity tests)."""
+    summary: dict[str, int] = {"total": len(questions)}
+    for difficulty in DIFFICULTIES:
+        summary[difficulty] = sum(1 for q in questions if q.difficulty == difficulty)
+    for domain in DOMAINS:
+        summary[domain] = sum(1 for q in questions if q.domain == domain)
+    return summary

@@ -1,0 +1,19 @@
+"""Answer-quality metrics: BLEU, ROUGE, BERTScore, G-Eval."""
+
+from .bertscore import BertScore, BertScorer
+from .bleu import corpus_bleu, sentence_bleu
+from .geval import GEvalMetric, GEvalScore
+from .rouge import RougeScore, rouge_all, rouge_l, rouge_n
+
+__all__ = [
+    "sentence_bleu",
+    "corpus_bleu",
+    "RougeScore",
+    "rouge_n",
+    "rouge_l",
+    "rouge_all",
+    "BertScore",
+    "BertScorer",
+    "GEvalScore",
+    "GEvalMetric",
+]

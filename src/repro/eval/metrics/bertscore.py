@@ -1,0 +1,85 @@
+"""BERTScore (Zhang et al., 2019) over deterministic contextual embeddings.
+
+Greedy token matching on contextual token embeddings: each candidate token
+matches its most similar reference token (precision side) and vice versa
+(recall side); F1 combines them.  Because contextual similarity is high
+for any fluent English answer about the same entities, raw scores crowd a
+narrow high band — the *ceiling effect* the poster reports (Finding 1).
+``rescale_with_baseline`` linearly rescales against an uninformative-pair
+baseline, as the original implementation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...embed.model import ContextualEmbedding
+
+__all__ = ["BertScore", "BertScorer"]
+
+
+@dataclass(frozen=True)
+class BertScore:
+    """Precision / recall / F1 of greedy token matching."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+class BertScorer:
+    """Computes BERTScore-style similarity between two texts."""
+
+    #: expected similarity of unrelated sentence pairs (measured once over
+    #: shuffled IYP answers; used for optional rescaling)
+    DEFAULT_BASELINE = 0.45
+
+    def __init__(
+        self,
+        embedding: ContextualEmbedding | None = None,
+        rescale_with_baseline: bool = False,
+        baseline: float | None = None,
+    ) -> None:
+        self.embedding = embedding or ContextualEmbedding()
+        self.rescale = rescale_with_baseline
+        self.baseline = self.DEFAULT_BASELINE if baseline is None else baseline
+
+    def score(self, candidate: str, reference: str) -> BertScore:
+        """Score ``candidate`` against ``reference``."""
+        cand_tokens, cand_matrix = self.embedding.token_embeddings(candidate)
+        ref_tokens, ref_matrix = self.embedding.token_embeddings(reference)
+        if not cand_tokens and not ref_tokens:
+            return BertScore(1.0, 1.0, 1.0)
+        if not cand_tokens or not ref_tokens:
+            return BertScore(0.0, 0.0, 0.0)
+        similarity = cand_matrix @ ref_matrix.T  # rows unit-norm
+        precision = float(similarity.max(axis=1).mean())
+        recall = float(similarity.max(axis=0).mean())
+        if self.rescale:
+            precision = self._rescale(precision)
+            recall = self._rescale(recall)
+        if precision + recall <= 0:
+            return BertScore(max(precision, 0.0), max(recall, 0.0), 0.0)
+        f1 = 2 * precision * recall / (precision + recall)
+        return BertScore(precision, recall, f1)
+
+    def _rescale(self, value: float) -> float:
+        rescaled = (value - self.baseline) / (1.0 - self.baseline)
+        return float(np.clip(rescaled, 0.0, 1.0))
+
+    def measure_baseline(self, texts: list[str], pairs: int = 200, seed: int = 0) -> float:
+        """Estimate the unrelated-pair baseline from a corpus of answers."""
+        import random
+
+        rng = random.Random(seed)
+        if len(texts) < 2:
+            return self.baseline
+        total = 0.0
+        count = 0
+        for _ in range(pairs):
+            left, right = rng.sample(texts, 2)
+            total += self.score(left, right).f1
+            count += 1
+        return total / count if count else self.baseline

@@ -1,0 +1,116 @@
+"""BLEU (Papineni et al., 2002) with smoothing, from scratch.
+
+Corpus- and sentence-level BLEU-4 with brevity penalty.  Sentence-level
+scores use smoothing method 1 (add-epsilon on zero n-gram matches), the
+common choice for short generated answers — without it most answers would
+score exactly zero and Figure 2a's distribution would collapse.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+from ...nlp.ngrams import ngram_counts
+from ...nlp.tokenize import word_tokenize
+
+__all__ = ["sentence_bleu", "corpus_bleu"]
+
+_EPSILON = 0.1
+
+
+def _modified_precision(
+    candidate: Sequence[str], references: list[Sequence[str]], n: int
+) -> tuple[int, int]:
+    """Clipped n-gram matches and candidate n-gram total."""
+    candidate_counts = ngram_counts(candidate, n)
+    if not candidate_counts:
+        return 0, 0
+    max_reference: Counter = Counter()
+    for reference in references:
+        reference_counts = ngram_counts(reference, n)
+        for gram, count in reference_counts.items():
+            if count > max_reference[gram]:
+                max_reference[gram] = count
+    clipped = sum(
+        min(count, max_reference.get(gram, 0)) for gram, count in candidate_counts.items()
+    )
+    return clipped, sum(candidate_counts.values())
+
+
+def _closest_reference_length(candidate_length: int, references: list[Sequence[str]]) -> int:
+    return min(
+        (abs(len(reference) - candidate_length), len(reference)) for reference in references
+    )[1]
+
+
+def sentence_bleu(
+    candidate: str,
+    references: str | list[str],
+    max_n: int = 4,
+    smooth: bool = True,
+) -> float:
+    """BLEU for one candidate against one or more references, in [0, 1]."""
+    if isinstance(references, str):
+        references = [references]
+    candidate_tokens = word_tokenize(candidate)
+    reference_tokens = [word_tokenize(reference) for reference in references]
+    return _bleu([(candidate_tokens, reference_tokens)], max_n=max_n, smooth=smooth)
+
+
+def corpus_bleu(
+    candidates: list[str],
+    references: list[str | list[str]],
+    max_n: int = 4,
+    smooth: bool = False,
+) -> float:
+    """Corpus BLEU: n-gram statistics pooled over all pairs."""
+    if len(candidates) != len(references):
+        raise ValueError("candidates and references must align")
+    pairs = []
+    for candidate, reference in zip(candidates, references):
+        reference_list = [reference] if isinstance(reference, str) else list(reference)
+        pairs.append(
+            (word_tokenize(candidate), [word_tokenize(r) for r in reference_list])
+        )
+    return _bleu(pairs, max_n=max_n, smooth=smooth)
+
+
+def _bleu(
+    pairs: list[tuple[list[str], list[list[str]]]], max_n: int, smooth: bool
+) -> float:
+    total_clipped = [0] * max_n
+    total_counts = [0] * max_n
+    candidate_length = 0
+    reference_length = 0
+    for candidate_tokens, reference_tokens in pairs:
+        if not reference_tokens:
+            continue
+        candidate_length += len(candidate_tokens)
+        reference_length += _closest_reference_length(len(candidate_tokens), reference_tokens)
+        for n in range(1, max_n + 1):
+            clipped, count = _modified_precision(candidate_tokens, reference_tokens, n)
+            total_clipped[n - 1] += clipped
+            total_counts[n - 1] += count
+    if candidate_length == 0:
+        return 0.0
+
+    log_precision_sum = 0.0
+    for n in range(1, max_n + 1):
+        clipped = total_clipped[n - 1]
+        count = total_counts[n - 1]
+        if count == 0:
+            return 0.0  # candidate shorter than n
+        if clipped == 0:
+            if not smooth:
+                return 0.0
+            clipped = _EPSILON
+        log_precision_sum += math.log(clipped / count)
+    geometric_mean = math.exp(log_precision_sum / max_n)
+
+    if candidate_length > reference_length:
+        brevity_penalty = 1.0
+    else:
+        brevity_penalty = math.exp(1.0 - reference_length / candidate_length)
+    return brevity_penalty * geometric_mean

@@ -1,0 +1,58 @@
+"""G-Eval (Liu et al., 2023): LLM-as-a-judge scoring.
+
+The judge LLM (here the deterministic :class:`~repro.llm.judge.AnswerJudge`
+behind the backbone's ``[TASK: judge]`` head) assesses factuality,
+relevance and informativeness, exactly the criteria the poster lists.  Its
+fact-grounded scoring separates good from bad answers sharply, giving the
+bimodal distribution that makes G-Eval align with human judgment better
+than the surface-overlap metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from ...core.prompts import judge_prompt
+from ...llm.base import LLM
+
+__all__ = ["GEvalScore", "GEvalMetric"]
+
+
+@dataclass(frozen=True)
+class GEvalScore:
+    """Final score in [0, 1] plus the per-criterion breakdown."""
+
+    score: float
+    rating: int
+    factuality: float
+    relevance: float
+    informativeness: float
+
+
+class GEvalMetric:
+    """Scores candidate answers through the judge LLM."""
+
+    def __init__(self, judge_llm: LLM) -> None:
+        self.judge_llm = judge_llm
+
+    def score(
+        self,
+        question: str,
+        candidate: str,
+        reference: str,
+        gold_facts: Optional[set[str]] = None,
+    ) -> GEvalScore:
+        """Judge ``candidate`` against the reference (and gold facts)."""
+        gold_json = json.dumps(sorted(gold_facts)) if gold_facts else ""
+        prompt = judge_prompt(question, candidate, reference, gold_json)
+        completion = self.judge_llm.complete(prompt)
+        metadata = completion.metadata
+        return GEvalScore(
+            score=float(metadata.get("score", 0.0)),
+            rating=int(metadata.get("rating", 1)),
+            factuality=float(metadata.get("factuality", 0.0)),
+            relevance=float(metadata.get("relevance", 0.0)),
+            informativeness=float(metadata.get("informativeness", 0.0)),
+        )

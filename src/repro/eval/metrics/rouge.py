@@ -1,0 +1,76 @@
+"""ROUGE (Lin, 2004) from scratch: ROUGE-1, ROUGE-2 and ROUGE-L.
+
+Recall-oriented n-gram/subsequence overlap; we report the F1 variant (the
+modern convention) with precision and recall accessible on the score
+object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...nlp.ngrams import ngram_counts
+from ...nlp.tokenize import word_tokenize
+
+__all__ = ["RougeScore", "rouge_n", "rouge_l", "rouge_all"]
+
+
+@dataclass(frozen=True)
+class RougeScore:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def _prf(overlap: float, candidate_total: float, reference_total: float) -> RougeScore:
+    precision = overlap / candidate_total if candidate_total else 0.0
+    recall = overlap / reference_total if reference_total else 0.0
+    if precision + recall == 0:
+        return RougeScore(precision, recall, 0.0)
+    f1 = 2 * precision * recall / (precision + recall)
+    return RougeScore(precision, recall, f1)
+
+
+def rouge_n(candidate: str, reference: str, n: int = 1) -> RougeScore:
+    """ROUGE-N: n-gram overlap between candidate and reference."""
+    candidate_counts = ngram_counts(word_tokenize(candidate), n)
+    reference_counts = ngram_counts(word_tokenize(reference), n)
+    overlap = sum((candidate_counts & reference_counts).values())
+    return _prf(
+        overlap, sum(candidate_counts.values()), sum(reference_counts.values())
+    )
+
+
+def _lcs_length(left: list[str], right: list[str]) -> int:
+    """Longest common subsequence length (two-row DP)."""
+    if not left or not right:
+        return 0
+    previous = [0] * (len(right) + 1)
+    for left_token in left:
+        current = [0]
+        for j, right_token in enumerate(right, start=1):
+            if left_token == right_token:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(candidate: str, reference: str) -> RougeScore:
+    """ROUGE-L: longest-common-subsequence F1."""
+    candidate_tokens = word_tokenize(candidate)
+    reference_tokens = word_tokenize(reference)
+    lcs = _lcs_length(candidate_tokens, reference_tokens)
+    return _prf(lcs, len(candidate_tokens), len(reference_tokens))
+
+
+def rouge_all(candidate: str, reference: str) -> dict[str, RougeScore]:
+    """All three variants keyed ``rouge1`` / ``rouge2`` / ``rougeL``."""
+    return {
+        "rouge1": rouge_n(candidate, reference, 1),
+        "rouge2": rouge_n(candidate, reference, 2),
+        "rougeL": rouge_l(candidate, reference),
+    }

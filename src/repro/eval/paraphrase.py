@@ -1,0 +1,95 @@
+"""Paraphrase-penalty experiment.
+
+Finding 1 argues surface metrics punish correct-but-reworded answers.  This
+experiment isolates that claim: for every benchmark question with a
+non-empty gold result we verbalize the *same gold facts* twice with
+independently seeded generators — one rendering is the reference, the other
+a semantically perfect paraphrase — then score the paraphrase with every
+metric.  Any score below 1.0 is pure phrasing penalty; no factual error is
+present anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cypher.executor import CypherEngine
+from ..graph.store import GraphStore
+from ..llm.base import LLM
+from ..llm.verbalize import ResultVerbalizer
+from .cyphereval import EvalQuestion
+from .harness import METRIC_KEYS
+from .metrics.bertscore import BertScorer
+from .metrics.bleu import sentence_bleu
+from .metrics.geval import GEvalMetric
+from .metrics.rouge import rouge_all
+from .reference import gold_facts
+
+__all__ = ["ParaphrasePenalty", "paraphrase_penalty"]
+
+
+@dataclass(frozen=True)
+class ParaphrasePenalty:
+    """Mean score (and 1-mean penalty) per metric over perfect paraphrases."""
+
+    mean_scores: dict[str, float]
+    pairs: int
+
+    def penalty(self, metric: str) -> float:
+        """How much ``metric`` docks a semantically perfect paraphrase."""
+        return round(1.0 - self.mean_scores[metric], 4)
+
+
+def paraphrase_penalty(
+    store: GraphStore,
+    questions: list[EvalQuestion],
+    judge_llm: LLM,
+    reference_seed: int = 7919,
+    paraphrase_seed: int = 104729,
+    limit: int | None = None,
+) -> ParaphrasePenalty:
+    """Measure every metric on gold-vs-gold paraphrase pairs.
+
+    Args:
+        store: the graph the gold queries run against.
+        questions: benchmark questions; empty-gold ones are skipped (both
+            renderings would be negative statements).
+        judge_llm: backbone whose judge head scores G-Eval.
+        reference_seed / paraphrase_seed: the two verbalizer streams; they
+            must differ or every pair would be textually identical.
+    """
+    if reference_seed == paraphrase_seed:
+        raise ValueError("reference and paraphrase seeds must differ")
+    engine = CypherEngine(store)
+    reference_model = ResultVerbalizer(seed=reference_seed)
+    paraphrase_model = ResultVerbalizer(seed=paraphrase_seed)
+    bert = BertScorer()
+    geval = GEvalMetric(judge_llm)
+
+    totals = {metric: 0.0 for metric in METRIC_KEYS}
+    pairs = 0
+    for question in questions:
+        result = engine.run(question.gold_cypher)
+        if not result.records:
+            continue
+        reference = reference_model.verbalize(question.question, result)
+        paraphrase = paraphrase_model.verbalize(question.question, result)
+        facts = gold_facts(result)
+        rouge_scores = rouge_all(paraphrase, reference)
+        totals["bleu"] += sentence_bleu(paraphrase, reference)
+        totals["rouge1"] += rouge_scores["rouge1"].f1
+        totals["rouge2"] += rouge_scores["rouge2"].f1
+        totals["rougeL"] += rouge_scores["rougeL"].f1
+        totals["bertscore"] += bert.score(paraphrase, reference).f1
+        totals["geval"] += geval.score(
+            question.question, paraphrase, reference, facts
+        ).score
+        pairs += 1
+        if limit is not None and pairs >= limit:
+            break
+    if pairs == 0:
+        raise ValueError("no questions with non-empty gold results")
+    return ParaphrasePenalty(
+        mean_scores={metric: round(total / pairs, 4) for metric, total in totals.items()},
+        pairs=pairs,
+    )

@@ -1,0 +1,75 @@
+"""The validation model (paper §3, Evaluation Setup).
+
+"To assess response quality, we use a validation model that executes the
+gold Cypher query on the IYP graph and prompts GPT-3.5 to produce a
+reference answer."  Here: gold query → graph engine → reference verbalizer
+(a differently-seeded instance of the same generation head, so references
+share facts but not phrasing with ChatIYP answers).
+
+Also derives the *gold fact set* from the executed result, which grounds
+the G-Eval judge and the simulated human raters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cypher.errors import CypherError
+from ..cypher.executor import CypherEngine
+from ..cypher.result import ResultSet, render_value
+from ..graph.store import GraphStore
+from ..llm.judge import extract_facts
+from ..llm.verbalize import ResultVerbalizer
+from .cyphereval import EvalQuestion
+
+__all__ = ["Reference", "ValidationModel"]
+
+
+@dataclass
+class Reference:
+    """Gold execution output for one question."""
+
+    answer: str
+    result: ResultSet
+    facts: set[str]
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.result.records) == 0
+
+
+class ValidationModel:
+    """Builds reference answers by executing gold Cypher."""
+
+    def __init__(self, store: GraphStore, seed: int = 1):
+        self.engine = CypherEngine(store)
+        self.verbalizer = ResultVerbalizer(seed=seed)
+
+    def reference_for(self, question: EvalQuestion) -> Reference:
+        """Execute the gold query and verbalize the reference answer.
+
+        Raises:
+            CypherError: gold queries are required to be executable; a
+                failure here is a benchmark bug, not a model failure.
+        """
+        try:
+            result = self.engine.run(question.gold_cypher)
+        except CypherError as exc:
+            raise CypherError(
+                f"gold query of {question.qid} failed to execute: {exc}"
+            ) from exc
+        answer = self.verbalizer.verbalize(question.question, result)
+        return Reference(answer=answer, result=result, facts=gold_facts(result))
+
+
+def gold_facts(result: ResultSet) -> set[str]:
+    """Normalised fact atoms contained in a gold result set."""
+    facts: set[str] = set()
+    for record in result.records:
+        for value in record.values():
+            if value is None:
+                continue
+            rendered = render_value(value)
+            facts |= extract_facts(rendered)
+            facts.add(rendered.lower())
+    return facts

@@ -1,0 +1,177 @@
+"""Statistics helpers: correlations, histograms, bimodality."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "pearson",
+    "spearman",
+    "summary",
+    "SummaryStats",
+    "histogram",
+    "bimodality_coefficient",
+    "bootstrap_ci",
+]
+
+
+def pearson(xs: list[float], ys: list[float]) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate inputs)."""
+    if len(xs) != len(ys):
+        raise ValueError("series must align")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def _ranks(values: list[float]) -> list[float]:
+    """Fractional ranks (ties get the average rank)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: list[float], ys: list[float]) -> float:
+    """Spearman rank correlation (Pearson over fractional ranks)."""
+    if len(xs) != len(ys):
+        raise ValueError("series must align")
+    if len(xs) < 2:
+        return 0.0
+    return pearson(_ranks(xs), _ranks(ys))
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary of a score distribution."""
+
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    p10: float
+    p90: float
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = fraction * (len(sorted_values) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+def summary(values: list[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` (zeros for an empty series)."""
+    if not values:
+        return SummaryStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((v - mean) ** 2 for v in ordered) / n
+    return SummaryStats(
+        count=n,
+        mean=mean,
+        median=_percentile(ordered, 0.5),
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p10=_percentile(ordered, 0.1),
+        p90=_percentile(ordered, 0.9),
+    )
+
+
+def histogram(values: list[float], bins: int = 10, lo: float = 0.0, hi: float = 1.0) -> list[int]:
+    """Fixed-range histogram counts (values clamped into [lo, hi])."""
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    counts = [0] * bins
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    width = (hi - lo) / bins
+    for value in values:
+        index = int((min(max(value, lo), hi) - lo) / width)
+        if index == bins:
+            index -= 1
+        counts[index] += 1
+    return counts
+
+
+def bootstrap_ci(
+    values: list[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean.
+
+    Deterministic (seeded); returns ``(lo, hi)``.  Degenerate inputs
+    (fewer than two values) return a zero-width interval at the mean.
+    """
+    import random
+
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if not values:
+        return (0.0, 0.0)
+    if len(values) == 1:
+        return (values[0], values[0])
+    rng = random.Random(seed)
+    n = len(values)
+    means = []
+    for _ in range(resamples):
+        sample = [values[rng.randrange(n)] for _ in range(n)]
+        means.append(sum(sample) / n)
+    means.sort()
+    alpha = (1.0 - confidence) / 2
+    return (
+        _percentile(means, alpha),
+        _percentile(means, 1.0 - alpha),
+    )
+
+
+def bimodality_coefficient(values: list[float]) -> float:
+    """Sarle's bimodality coefficient; > 0.555 suggests bimodality.
+
+    ``BC = (skewness² + 1) / (kurtosis + 3·(n−1)²/((n−2)(n−3)))`` with
+    excess kurtosis.  Returns 0.0 for degenerate inputs.
+    """
+    n = len(values)
+    if n < 4:
+        return 0.0
+    mean = sum(values) / n
+    m2 = sum((v - mean) ** 2 for v in values) / n
+    if m2 == 0:
+        return 0.0
+    m3 = sum((v - mean) ** 3 for v in values) / n
+    m4 = sum((v - mean) ** 4 for v in values) / n
+    skewness = m3 / m2**1.5
+    kurtosis = m4 / m2**2 - 3.0  # excess
+    correction = 3 * (n - 1) ** 2 / ((n - 2) * (n - 3))
+    denominator = kurtosis + correction
+    if denominator == 0:
+        return 0.0
+    return (skewness**2 + 1) / denominator

@@ -1,0 +1,204 @@
+"""Dependency-free SVG renderings of the paper's figures.
+
+The poster presents Figure 2 as two plots: (a) per-metric score
+distributions, (b) G-Eval by difficulty.  This module renders both from an
+:class:`~repro.eval.harness.EvaluationReport` as standalone SVG documents —
+no plotting library required — so the reproduction produces figure
+artefacts, not just tables.
+
+Example::
+
+    from repro.eval.svg import figure_2a_svg, figure_2b_svg
+    Path("fig2a.svg").write_text(figure_2a_svg(report))
+"""
+
+from __future__ import annotations
+
+from .cyphereval import DIFFICULTIES
+from .harness import METRIC_KEYS, EvaluationReport
+from .stats import histogram
+
+__all__ = ["figure_2a_svg", "figure_2b_svg", "histogram_svg", "bar_chart_svg"]
+
+# A small colour-blind-safe palette.
+_COLORS = ["#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377"]
+_BACKGROUND = "#ffffff"
+_AXIS = "#444444"
+_FONT = "font-family='Helvetica, Arial, sans-serif'"
+
+
+def _svg_document(width: int, height: int, body: list[str], title: str) -> str:
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>",
+        f"<rect width='{width}' height='{height}' fill='{_BACKGROUND}'/>",
+        f"<text x='{width / 2}' y='22' text-anchor='middle' font-size='15' "
+        f"{_FONT} fill='{_AXIS}'>{title}</text>",
+        *body,
+        "</svg>",
+    ]
+    return "\n".join(parts)
+
+
+def histogram_svg(
+    values: list[float],
+    title: str,
+    bins: int = 10,
+    width: int = 360,
+    height: int = 220,
+    color: str = _COLORS[0],
+) -> str:
+    """A single score histogram over [0, 1] as an SVG document."""
+    counts = histogram(values, bins=bins)
+    peak = max(counts) if counts else 1
+    margin_left, margin_bottom, margin_top = 40, 36, 36
+    plot_w = width - margin_left - 12
+    plot_h = height - margin_top - margin_bottom
+    bar_w = plot_w / bins
+    body = []
+    for index, count in enumerate(counts):
+        bar_h = plot_h * count / peak if peak else 0
+        x = margin_left + index * bar_w
+        y = margin_top + plot_h - bar_h
+        body.append(
+            f"<rect x='{x:.1f}' y='{y:.1f}' width='{bar_w - 2:.1f}' "
+            f"height='{bar_h:.1f}' fill='{color}'/>"
+        )
+    # Axes and tick labels.
+    axis_y = margin_top + plot_h
+    body.append(
+        f"<line x1='{margin_left}' y1='{axis_y}' x2='{margin_left + plot_w}' "
+        f"y2='{axis_y}' stroke='{_AXIS}' stroke-width='1'/>"
+    )
+    for tick in (0.0, 0.5, 1.0):
+        x = margin_left + plot_w * tick
+        body.append(
+            f"<text x='{x:.1f}' y='{axis_y + 16}' text-anchor='middle' "
+            f"font-size='11' {_FONT} fill='{_AXIS}'>{tick:.1f}</text>"
+        )
+    body.append(
+        f"<text x='{margin_left - 6}' y='{margin_top + 8}' text-anchor='end' "
+        f"font-size='11' {_FONT} fill='{_AXIS}'>{peak}</text>"
+    )
+    return _svg_document(width, height, body, title)
+
+
+def bar_chart_svg(
+    groups: list[str],
+    series: dict[str, list[float]],
+    title: str,
+    width: int = 520,
+    height: int = 280,
+    y_label: str = "",
+) -> str:
+    """Grouped bar chart (values in [0, 1]) as an SVG document."""
+    margin_left, margin_bottom, margin_top = 52, 44, 40
+    plot_w = width - margin_left - 16
+    plot_h = height - margin_top - margin_bottom
+    group_w = plot_w / max(1, len(groups))
+    series_names = list(series)
+    bar_w = group_w * 0.8 / max(1, len(series_names))
+    body = []
+    axis_y = margin_top + plot_h
+    # Gridlines at 0.25 steps.
+    for tick in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = margin_top + plot_h * (1 - tick)
+        body.append(
+            f"<line x1='{margin_left}' y1='{y:.1f}' x2='{margin_left + plot_w}' "
+            f"y2='{y:.1f}' stroke='#dddddd' stroke-width='1'/>"
+        )
+        body.append(
+            f"<text x='{margin_left - 6}' y='{y + 4:.1f}' text-anchor='end' "
+            f"font-size='11' {_FONT} fill='{_AXIS}'>{tick:.2f}</text>"
+        )
+    for group_index, group in enumerate(groups):
+        base_x = margin_left + group_index * group_w + group_w * 0.1
+        for series_index, name in enumerate(series_names):
+            value = max(0.0, min(1.0, series[name][group_index]))
+            bar_h = plot_h * value
+            x = base_x + series_index * bar_w
+            y = margin_top + plot_h - bar_h
+            color = _COLORS[series_index % len(_COLORS)]
+            body.append(
+                f"<rect x='{x:.1f}' y='{y:.1f}' width='{bar_w - 2:.1f}' "
+                f"height='{bar_h:.1f}' fill='{color}'/>"
+            )
+        body.append(
+            f"<text x='{base_x + group_w * 0.4:.1f}' y='{axis_y + 16}' "
+            f"text-anchor='middle' font-size='12' {_FONT} fill='{_AXIS}'>{group}</text>"
+        )
+    body.append(
+        f"<line x1='{margin_left}' y1='{axis_y}' x2='{margin_left + plot_w}' "
+        f"y2='{axis_y}' stroke='{_AXIS}' stroke-width='1'/>"
+    )
+    # Legend.
+    legend_x = margin_left
+    legend_y = height - 12
+    for series_index, name in enumerate(series_names):
+        color = _COLORS[series_index % len(_COLORS)]
+        body.append(
+            f"<rect x='{legend_x}' y='{legend_y - 10}' width='10' height='10' fill='{color}'/>"
+        )
+        body.append(
+            f"<text x='{legend_x + 14}' y='{legend_y}' font-size='11' "
+            f"{_FONT} fill='{_AXIS}'>{name}</text>"
+        )
+        legend_x += 18 + 7 * len(name)
+    if y_label:
+        body.append(
+            f"<text x='14' y='{margin_top + plot_h / 2:.1f}' font-size='11' {_FONT} "
+            f"fill='{_AXIS}' transform='rotate(-90 14 {margin_top + plot_h / 2:.1f})' "
+            f"text-anchor='middle'>{y_label}</text>"
+        )
+    return _svg_document(width, height, body, title)
+
+
+def figure_2a_svg(report: EvaluationReport) -> str:
+    """Figure 2a: one histogram panel per metric, side by side."""
+    panel_w, panel_h = 360, 220
+    columns = 3
+    rows = -(-len(METRIC_KEYS) // columns)
+    width = panel_w * columns
+    height = panel_h * rows + 30
+    body = [
+        f"<text x='{width / 2}' y='20' text-anchor='middle' font-size='16' "
+        f"{_FONT} fill='{_AXIS}'>Figure 2a — metric score distributions</text>"
+    ]
+    for index, metric in enumerate(METRIC_KEYS):
+        panel = histogram_svg(
+            report.scores(metric), metric, color=_COLORS[index % len(_COLORS)]
+        )
+        inner = panel.split("\n", 2)[2].rsplit("</svg>", 1)[0]
+        x = (index % columns) * panel_w
+        y = 30 + (index // columns) * panel_h
+        body.append(f"<g transform='translate({x},{y})'>{inner}</g>")
+    return "\n".join(
+        [
+            f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' height='{height}' "
+            f"viewBox='0 0 {width} {height}'>",
+            f"<rect width='{width}' height='{height}' fill='{_BACKGROUND}'/>",
+            *body,
+            "</svg>",
+        ]
+    )
+
+
+def figure_2b_svg(report: EvaluationReport) -> str:
+    """Figure 2b: G-Eval by difficulty × domain as a grouped bar chart."""
+    series = {
+        "all": [], "general": [], "technical": [],
+    }
+    for difficulty in DIFFICULTIES:
+        series["all"].append(report.filter(difficulty=difficulty).mean("geval"))
+        series["general"].append(
+            report.filter(difficulty=difficulty, domain="general").mean("geval")
+        )
+        series["technical"].append(
+            report.filter(difficulty=difficulty, domain="technical").mean("geval")
+        )
+    return bar_chart_svg(
+        list(DIFFICULTIES),
+        series,
+        "Figure 2b — mean G-Eval by difficulty and domain",
+        y_label="mean G-Eval",
+    )

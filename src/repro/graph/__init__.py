@@ -1,0 +1,17 @@
+"""In-memory property graph store (the repo's Neo4j substitute)."""
+
+from .model import Node, Path, Relationship
+from .schema import GraphSchema, SchemaRelationship, introspect_schema
+from .store import EntityNotFound, GraphError, GraphStore
+
+__all__ = [
+    "Node",
+    "Relationship",
+    "Path",
+    "GraphStore",
+    "GraphError",
+    "EntityNotFound",
+    "GraphSchema",
+    "SchemaRelationship",
+    "introspect_schema",
+]

@@ -1,0 +1,109 @@
+"""Schema introspection over a :class:`~repro.graph.store.GraphStore`.
+
+The ChatIYP prompt chain injects a textual description of the graph schema
+(labels, relationship patterns, property keys) into the text-to-Cypher
+prompt, exactly as LlamaIndex's Neo4j integration does.  This module derives
+that description from a live store.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from .store import GraphStore
+
+__all__ = ["GraphSchema", "SchemaRelationship", "introspect_schema"]
+
+
+@dataclass(frozen=True)
+class SchemaRelationship:
+    """One relationship pattern ``(:Start)-[:TYPE]->(:End)`` with its count."""
+
+    start_label: str
+    rel_type: str
+    end_label: str
+    count: int = 0
+    property_keys: tuple[str, ...] = ()
+
+    def pattern(self) -> str:
+        """Render as a Cypher-style pattern string."""
+        return f"(:{self.start_label})-[:{self.rel_type}]->(:{self.end_label})"
+
+
+@dataclass
+class GraphSchema:
+    """Aggregate schema view: labels, their properties, and edge patterns."""
+
+    node_labels: dict[str, int] = field(default_factory=dict)
+    node_properties: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    relationships: list[SchemaRelationship] = field(default_factory=list)
+
+    def describe(self, max_relationships: int | None = None) -> str:
+        """Render the schema as the prompt text injected into the LLM.
+
+        The format intentionally matches what graph-RAG frameworks feed to
+        text-to-Cypher models: one line per label with its properties,
+        followed by one line per relationship pattern.
+        """
+        lines = ["Node labels and properties:"]
+        for label in sorted(self.node_labels):
+            keys = ", ".join(self.node_properties.get(label, ()))
+            lines.append(f"  (:{label} {{{keys}}})  # {self.node_labels[label]} nodes")
+        lines.append("Relationship patterns:")
+        rels = self.relationships
+        if max_relationships is not None:
+            rels = rels[:max_relationships]
+        for rel in rels:
+            props = ""
+            if rel.property_keys:
+                props = " {" + ", ".join(rel.property_keys) + "}"
+            lines.append(f"  {rel.pattern()}{props}  # {rel.count} edges")
+        return "\n".join(lines)
+
+    def has_label(self, label: str) -> bool:
+        """Return True if ``label`` exists in the schema."""
+        return label in self.node_labels
+
+    def relationship_types(self) -> list[str]:
+        """Distinct relationship type names, sorted."""
+        return sorted({rel.rel_type for rel in self.relationships})
+
+
+def introspect_schema(store: GraphStore) -> GraphSchema:
+    """Build a :class:`GraphSchema` by scanning ``store``.
+
+    Relationship patterns are aggregated per (start label, type, end label)
+    triple; nodes with several labels contribute one pattern per label pair.
+    """
+    schema = GraphSchema()
+    label_property_keys: dict[str, set[str]] = defaultdict(set)
+    for node in store.all_nodes():
+        for label in node.labels:
+            schema.node_labels[label] = schema.node_labels.get(label, 0) + 1
+            label_property_keys[label].update(node.properties)
+    schema.node_properties = {
+        label: tuple(sorted(keys)) for label, keys in label_property_keys.items()
+    }
+
+    pattern_counts: Counter[tuple[str, str, str]] = Counter()
+    pattern_props: dict[tuple[str, str, str], set[str]] = defaultdict(set)
+    for rel in store.all_relationships():
+        start = store.node(rel.start_id)
+        end = store.node(rel.end_id)
+        for start_label in sorted(start.labels):
+            for end_label in sorted(end.labels):
+                key = (start_label, rel.rel_type, end_label)
+                pattern_counts[key] += 1
+                pattern_props[key].update(rel.properties)
+    schema.relationships = [
+        SchemaRelationship(
+            start_label=start,
+            rel_type=rel_type,
+            end_label=end,
+            count=count,
+            property_keys=tuple(sorted(pattern_props[(start, rel_type, end)])),
+        )
+        for (start, rel_type, end), count in sorted(pattern_counts.items())
+    ]
+    return schema

@@ -1,0 +1,337 @@
+"""In-memory property graph store — the repo's Neo4j substitute.
+
+``GraphStore`` owns all nodes and relationships, maintains label and
+adjacency indexes, and offers the low-level scan/expand primitives the
+Cypher executor is built on.  It is deliberately single-threaded and
+in-memory: IYP-scale synthetic graphs (tens of thousands of nodes) fit
+comfortably, and determinism matters more than concurrency for
+reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Iterator, Mapping
+
+from .model import Node, Relationship, validate_properties
+
+__all__ = ["GraphStore", "GraphError", "EntityNotFound"]
+
+
+class GraphError(Exception):
+    """Base error for graph-store failures."""
+
+
+class EntityNotFound(GraphError, KeyError):
+    """A node or relationship id does not exist in the store."""
+
+
+class GraphStore:
+    """Mutable in-memory property graph with label and adjacency indexes.
+
+    Example::
+
+        store = GraphStore()
+        as_node = store.create_node(["AS"], {"asn": 2497})
+        jp = store.create_node(["Country"], {"country_code": "JP"})
+        store.create_relationship(as_node.node_id, "COUNTRY", jp.node_id)
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, Node] = {}
+        self._relationships: dict[int, Relationship] = {}
+        self._next_node_id = 0
+        self._next_rel_id = 0
+        # label -> set of node ids
+        self._label_index: dict[str, set[int]] = defaultdict(set)
+        # node id -> rel ids (by direction)
+        self._outgoing: dict[int, set[int]] = defaultdict(set)
+        self._incoming: dict[int, set[int]] = defaultdict(set)
+        # (label, property key, value) exact-match index, built lazily
+        self._property_index: dict[tuple[str, str], dict[Any, set[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Creation / mutation
+    # ------------------------------------------------------------------
+
+    def create_node(
+        self,
+        labels: Iterable[str],
+        properties: Mapping[str, Any] | None = None,
+    ) -> Node:
+        """Create and index a node; returns the new :class:`Node`."""
+        labels = tuple(labels)
+        if not labels:
+            raise GraphError("a node needs at least one label")
+        node = Node(self._next_node_id, labels, properties)
+        self._next_node_id += 1
+        self._nodes[node.node_id] = node
+        for label in node.labels:
+            self._label_index[label].add(node.node_id)
+            for key in node.properties:
+                index = self._property_index.get((label, key))
+                if index is not None:
+                    index[self._index_key(node.properties[key])].add(node.node_id)
+        return node
+
+    def create_relationship(
+        self,
+        start_id: int,
+        rel_type: str,
+        end_id: int,
+        properties: Mapping[str, Any] | None = None,
+    ) -> Relationship:
+        """Create a directed relationship ``start -[type]-> end``."""
+        if start_id not in self._nodes:
+            raise EntityNotFound(f"start node {start_id} does not exist")
+        if end_id not in self._nodes:
+            raise EntityNotFound(f"end node {end_id} does not exist")
+        rel = Relationship(self._next_rel_id, rel_type, start_id, end_id, properties)
+        self._next_rel_id += 1
+        self._relationships[rel.rel_id] = rel
+        self._outgoing[start_id].add(rel.rel_id)
+        self._incoming[end_id].add(rel.rel_id)
+        return rel
+
+    def set_node_property(self, node_id: int, key: str, value: Any) -> None:
+        """Set (or with ``value=None`` remove) a property on a node."""
+        node = self.node(node_id)
+        old = node.properties.get(key)
+        if value is None:
+            node.properties.pop(key, None)
+        else:
+            node.properties.update(validate_properties({key: value}))
+        for label in node.labels:
+            index = self._property_index.get((label, key))
+            if index is None:
+                continue
+            if old is not None:
+                index[self._index_key(old)].discard(node_id)
+            if value is not None:
+                index[self._index_key(value)].add(node_id)
+
+    def set_relationship_property(self, rel_id: int, key: str, value: Any) -> None:
+        """Set (or with ``value=None`` remove) a property on a relationship."""
+        rel = self.relationship(rel_id)
+        if value is None:
+            rel.properties.pop(key, None)
+        else:
+            rel.properties.update(validate_properties({key: value}))
+
+    def delete_relationship(self, rel_id: int) -> None:
+        """Remove a relationship from the store and its adjacency indexes."""
+        rel = self._relationships.pop(rel_id, None)
+        if rel is None:
+            raise EntityNotFound(f"relationship {rel_id} does not exist")
+        self._outgoing[rel.start_id].discard(rel_id)
+        self._incoming[rel.end_id].discard(rel_id)
+
+    def delete_node(self, node_id: int, detach: bool = False) -> None:
+        """Remove a node.
+
+        Args:
+            detach: also remove attached relationships (Cypher's
+                ``DETACH DELETE``).  Without it, deleting a connected node
+                raises :class:`GraphError`.
+        """
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise EntityNotFound(f"node {node_id} does not exist")
+        attached = list(self._outgoing.get(node_id, ())) + list(
+            self._incoming.get(node_id, ())
+        )
+        if attached and not detach:
+            raise GraphError(
+                f"cannot delete node {node_id}: it still has {len(attached)} relationships"
+            )
+        for rel_id in attached:
+            if rel_id in self._relationships:
+                self.delete_relationship(rel_id)
+        del self._nodes[node_id]
+        for label in node.labels:
+            self._label_index[label].discard(node_id)
+            for key, value in node.properties.items():
+                index = self._property_index.get((label, key))
+                if index is not None:
+                    index[self._index_key(value)].discard(node_id)
+        self._outgoing.pop(node_id, None)
+        self._incoming.pop(node_id, None)
+
+    def create_property_index(self, label: str, key: str) -> None:
+        """Build an exact-match index over ``(label, key)`` for fast lookups."""
+        if (label, key) in self._property_index:
+            return
+        index: dict[Any, set[int]] = defaultdict(set)
+        for node_id in self._label_index.get(label, ()):
+            node = self._nodes[node_id]
+            if key in node.properties:
+                index[self._index_key(node.properties[key])].add(node_id)
+        self._property_index[(label, key)] = index
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        """Return the node with ``node_id`` or raise :class:`EntityNotFound`."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise EntityNotFound(f"node {node_id} does not exist") from None
+
+    def relationship(self, rel_id: int) -> Relationship:
+        """Return the relationship with ``rel_id`` or raise :class:`EntityNotFound`."""
+        try:
+            return self._relationships[rel_id]
+        except KeyError:
+            raise EntityNotFound(f"relationship {rel_id} does not exist") from None
+
+    def has_node(self, node_id: int) -> bool:
+        """Return True if ``node_id`` exists."""
+        return node_id in self._nodes
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the store."""
+        return len(self._nodes)
+
+    @property
+    def relationship_count(self) -> int:
+        """Number of relationships in the store."""
+        return len(self._relationships)
+
+    def labels(self) -> list[str]:
+        """All labels with at least one node, sorted."""
+        return sorted(label for label, ids in self._label_index.items() if ids)
+
+    def relationship_types(self) -> list[str]:
+        """All relationship types present, sorted."""
+        return sorted({rel.rel_type for rel in self._relationships.values()})
+
+    # ------------------------------------------------------------------
+    # Scans (the executor's access paths)
+    # ------------------------------------------------------------------
+
+    def all_nodes(self) -> Iterator[Node]:
+        """Iterate every node in insertion (id) order."""
+        for node_id in sorted(self._nodes):
+            yield self._nodes[node_id]
+
+    def all_relationships(self) -> Iterator[Relationship]:
+        """Iterate every relationship in insertion (id) order."""
+        for rel_id in sorted(self._relationships):
+            yield self._relationships[rel_id]
+
+    def nodes_by_label(self, label: str) -> Iterator[Node]:
+        """Iterate nodes carrying ``label`` in id order."""
+        for node_id in sorted(self._label_index.get(label, ())):
+            yield self._nodes[node_id]
+
+    def nodes_by_property(self, label: str, key: str, value: Any) -> Iterator[Node]:
+        """Iterate nodes with ``label`` whose ``key`` equals ``value``.
+
+        Uses the property index when one exists; otherwise falls back to a
+        label scan.
+        """
+        index = self._property_index.get((label, key))
+        if index is not None:
+            for node_id in sorted(index.get(self._index_key(value), ())):
+                yield self._nodes[node_id]
+            return
+        for node in self.nodes_by_label(label):
+            if node.properties.get(key) == value:
+                yield node
+
+    def relationships_of(
+        self,
+        node_id: int,
+        direction: str = "both",
+        rel_types: Iterable[str] | None = None,
+    ) -> Iterator[Relationship]:
+        """Iterate relationships attached to ``node_id``.
+
+        Args:
+            direction: ``"out"``, ``"in"`` or ``"both"`` (from the node's
+                point of view).
+            rel_types: restrict to these relationship types (any if None).
+        """
+        wanted = set(rel_types) if rel_types else None
+        rel_ids: set[int] = set()
+        if direction in ("out", "both"):
+            rel_ids |= self._outgoing.get(node_id, set())
+        if direction in ("in", "both"):
+            rel_ids |= self._incoming.get(node_id, set())
+        if direction not in ("out", "in", "both"):
+            raise ValueError(f"invalid direction {direction!r}")
+        for rel_id in sorted(rel_ids):
+            rel = self._relationships[rel_id]
+            if wanted is None or rel.rel_type in wanted:
+                yield rel
+
+    def degree(
+        self,
+        node_id: int,
+        direction: str = "both",
+        rel_types: Iterable[str] | None = None,
+    ) -> int:
+        """Number of attached relationships (cheap count of ``relationships_of``)."""
+        return sum(1 for _ in self.relationships_of(node_id, direction, rel_types))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def subgraph(self, node_ids: Iterable[int]) -> "GraphStore":
+        """Extract the induced subgraph over ``node_ids`` into a new store.
+
+        Node and relationship ids are remapped; relationships survive only
+        when both endpoints are kept.  Useful for exporting a neighbourhood
+        (e.g. one AS and everything one hop around it) for inspection.
+        """
+        wanted = set(node_ids)
+        extracted = GraphStore()
+        id_map: dict[int, int] = {}
+        for node_id in sorted(wanted):
+            node = self.node(node_id)
+            copy = extracted.create_node(node.labels, dict(node.properties))
+            id_map[node_id] = copy.node_id
+        for rel in self.all_relationships():
+            if rel.start_id in wanted and rel.end_id in wanted:
+                extracted.create_relationship(
+                    id_map[rel.start_id], rel.rel_type, id_map[rel.end_id],
+                    dict(rel.properties),
+                )
+        return extracted
+
+    def neighbourhood(self, node_id: int, hops: int = 1) -> set[int]:
+        """Node ids within ``hops`` relationships of ``node_id`` (inclusive)."""
+        if hops < 0:
+            raise ValueError(f"hops must be non-negative, got {hops}")
+        frontier = {node_id}
+        seen = {node_id}
+        for _ in range(hops):
+            next_frontier: set[int] = set()
+            for current in frontier:
+                for rel in self.relationships_of(current):
+                    other = rel.other_end(current)
+                    if other not in seen:
+                        seen.add(other)
+                        next_frontier.add(other)
+            frontier = next_frontier
+        return seen
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _index_key(value: Any) -> Any:
+        """Normalise a value for exact-match indexing (lists become tuples)."""
+        if isinstance(value, list):
+            return tuple(GraphStore._index_key(item) for item in value)
+        return value
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStore(nodes={self.node_count},"
+            f" relationships={self.relationship_count},"
+            f" labels={len(self.labels())})"
+        )

@@ -1,0 +1,18 @@
+"""Synthetic Internet Yellow Pages dataset (schema, names, generator)."""
+
+from .generator import AS2497_JP_PERCENT, IYPConfig, IYPDataset, generate_iyp
+from .loader import PRESETS, load_dataset
+from .schema import EDGE_PATTERNS, NodeLabel, RelType, schema_summary
+
+__all__ = [
+    "IYPConfig",
+    "IYPDataset",
+    "generate_iyp",
+    "load_dataset",
+    "PRESETS",
+    "NodeLabel",
+    "RelType",
+    "EDGE_PATTERNS",
+    "schema_summary",
+    "AS2497_JP_PERCENT",
+]

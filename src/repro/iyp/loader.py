@@ -1,0 +1,28 @@
+"""Convenience entry points for building IYP graphs by preset size."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .generator import IYPConfig, IYPDataset, generate_iyp
+
+__all__ = ["load_dataset", "PRESETS"]
+
+PRESETS = ("small", "medium", "large")
+
+
+@lru_cache(maxsize=8)
+def load_dataset(size: str = "medium", seed: int = 42) -> IYPDataset:
+    """Build (and cache) a synthetic IYP dataset.
+
+    Args:
+        size: one of ``"small"`` (unit tests), ``"medium"`` (evaluation) or
+            ``"large"`` (benchmarks).
+        seed: RNG seed; identical (size, seed) pairs return the same cached
+            object, so treat the result's store as read-only or build your
+            own via :func:`~repro.iyp.generator.generate_iyp`.
+    """
+    if size not in PRESETS:
+        raise ValueError(f"unknown preset {size!r}; expected one of {PRESETS}")
+    factory = getattr(IYPConfig, size)
+    return generate_iyp(factory(seed=seed))

@@ -1,0 +1,207 @@
+"""Canned IYP Cypher queries — the cookbook the real IYP documentation ships.
+
+Each entry is a named, parameterised query over the IYP schema, usable
+directly against the engine and doubling as executable documentation of
+the schema (the test suite runs every one of them).
+
+Example::
+
+    from repro.cypher import CypherEngine
+    from repro.iyp import load_dataset
+    from repro.iyp.queries import COOKBOOK, run_cookbook_query
+
+    dataset = load_dataset("small")
+    result = run_cookbook_query(CypherEngine(dataset.store), "as_overview", asn=2497)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..cypher.executor import CypherEngine
+from ..cypher.result import ResultSet
+
+__all__ = ["CookbookQuery", "COOKBOOK", "run_cookbook_query", "cookbook_names"]
+
+
+@dataclass(frozen=True)
+class CookbookQuery:
+    """A documented, parameterised IYP query."""
+
+    name: str
+    description: str
+    cypher: str
+    parameters: tuple[str, ...] = ()
+
+
+COOKBOOK: dict[str, CookbookQuery] = {
+    query.name: query
+    for query in [
+        CookbookQuery(
+            name="as_overview",
+            description="Name, country, organization and tags of an AS.",
+            cypher=(
+                "MATCH (a:AS {asn: $asn}) "
+                "OPTIONAL MATCH (a)-[:COUNTRY]->(c:Country) "
+                "OPTIONAL MATCH (a)-[:MANAGED_BY]->(o:Organization) "
+                "RETURN a.asn AS asn, a.name AS name, c.name AS country, "
+                "o.name AS organization"
+            ),
+            parameters=("asn",),
+        ),
+        CookbookQuery(
+            name="as_prefixes",
+            description="Prefixes originated by an AS.",
+            cypher=(
+                "MATCH (:AS {asn: $asn})-[:ORIGINATE]->(p:Prefix) "
+                "RETURN p.prefix AS prefix, p.af AS af ORDER BY prefix"
+            ),
+            parameters=("asn",),
+        ),
+        CookbookQuery(
+            name="prefix_origin",
+            description="Which AS originates a given prefix.",
+            cypher=(
+                "MATCH (a:AS)-[:ORIGINATE]->(:Prefix {prefix: $prefix}) "
+                "RETURN a.asn AS asn, a.name AS name"
+            ),
+            parameters=("prefix",),
+        ),
+        CookbookQuery(
+            name="country_eyeball_ranking",
+            description="ASes serving a country's population, largest first "
+                        "(the APNIC eyeball view).",
+            cypher=(
+                "MATCH (a:AS)-[p:POPULATION]->(:Country {country_code: $cc}) "
+                "RETURN a.asn AS asn, a.name AS name, p.percent AS percent "
+                "ORDER BY percent DESC"
+            ),
+            parameters=("cc",),
+        ),
+        CookbookQuery(
+            name="as_neighbourhood",
+            description="Peers, providers and customers of an AS with the "
+                        "CAIDA relationship annotation.",
+            cypher=(
+                "MATCH (a:AS {asn: $asn})-[r:PEERS_WITH]-(b:AS) "
+                "RETURN b.asn AS asn, b.name AS name, r.rel AS rel, "
+                "CASE WHEN r.rel = 0 THEN 'peer' "
+                "WHEN startNode(r) = a THEN 'customer' ELSE 'provider' END AS role "
+                "ORDER BY asn"
+            ),
+            parameters=("asn",),
+        ),
+        CookbookQuery(
+            name="as_dependencies",
+            description="IHR AS-hegemony dependencies of an AS.",
+            cypher=(
+                "MATCH (:AS {asn: $asn})-[d:DEPENDS_ON]->(t:AS) "
+                "RETURN t.asn AS asn, t.name AS name, d.hege AS hegemony "
+                "ORDER BY hegemony DESC"
+            ),
+            parameters=("asn",),
+        ),
+        CookbookQuery(
+            name="ixp_members",
+            description="Member ASes of an IXP.",
+            cypher=(
+                "MATCH (a:AS)-[:MEMBER_OF]->(:IXP {name: $ixp}) "
+                "RETURN a.asn AS asn, a.name AS name ORDER BY asn"
+            ),
+            parameters=("ixp",),
+        ),
+        CookbookQuery(
+            name="country_ixps_with_members",
+            description="IXPs of a country with their member counts.",
+            cypher=(
+                "MATCH (i:IXP)-[:COUNTRY]->(:Country {country_code: $cc}) "
+                "OPTIONAL MATCH (a:AS)-[:MEMBER_OF]->(i) "
+                "RETURN i.name AS ixp, count(a) AS members ORDER BY members DESC"
+            ),
+            parameters=("cc",),
+        ),
+        CookbookQuery(
+            name="domain_resolution_chain",
+            description="Domain → IP → prefix → origin AS resolution chain.",
+            cypher=(
+                "MATCH (d:DomainName {name: $domain})-[:RESOLVES_TO]->(i:IP) "
+                "OPTIONAL MATCH (i)-[:PART_OF]->(p:Prefix)<-[:ORIGINATE]-(a:AS) "
+                "RETURN i.ip AS ip, p.prefix AS prefix, a.asn AS origin_asn "
+                "ORDER BY ip"
+            ),
+            parameters=("domain",),
+        ),
+        CookbookQuery(
+            name="top_ranked_ases",
+            description="The best-ranked ASes in CAIDA ASRank.",
+            cypher=(
+                "MATCH (a:AS)-[r:RANK]->(:Ranking {name: 'CAIDA ASRank'}) "
+                "WHERE r.rank <= $top "
+                "RETURN r.rank AS rank, a.asn AS asn, a.name AS name ORDER BY rank"
+            ),
+            parameters=("top",),
+        ),
+        CookbookQuery(
+            name="tag_members",
+            description="ASes categorized with a given tag.",
+            cypher=(
+                "MATCH (a:AS)-[:CATEGORIZED]->(:Tag {label: $tag}) "
+                "RETURN a.asn AS asn, a.name AS name ORDER BY asn"
+            ),
+            parameters=("tag",),
+        ),
+        CookbookQuery(
+            name="as_transit_path",
+            description="A shortest AS-level route between two networks "
+                        "following PEERS_WITH edges.",
+            cypher=(
+                "MATCH (a:AS {asn: $asn1}), (b:AS {asn: $asn2}) "
+                "MATCH p = shortestPath((a)-[:PEERS_WITH*..8]-(b)) "
+                "RETURN [n IN nodes(p) | n.asn] AS path, length(p) AS hops"
+            ),
+            parameters=("asn1", "asn2"),
+        ),
+        CookbookQuery(
+            name="org_footprint",
+            description="Everything an organization operates: ASes and their "
+                        "prefix counts.",
+            cypher=(
+                "MATCH (a:AS)-[:MANAGED_BY]->(:Organization {name: $org}) "
+                "OPTIONAL MATCH (a)-[:ORIGINATE]->(p:Prefix) "
+                "RETURN a.asn AS asn, a.name AS name, count(p) AS prefixes "
+                "ORDER BY prefixes DESC"
+            ),
+            parameters=("org",),
+        ),
+        CookbookQuery(
+            name="country_probe_coverage",
+            description="Atlas probe coverage per AS in a country.",
+            cypher=(
+                "MATCH (pr:AtlasProbe)-[:LOCATED_IN]->(a:AS)"
+                "-[:COUNTRY]->(:Country {country_code: $cc}) "
+                "RETURN a.asn AS asn, count(pr) AS probes ORDER BY probes DESC"
+            ),
+            parameters=("cc",),
+        ),
+    ]
+}
+
+
+def cookbook_names() -> list[str]:
+    """All cookbook query names, sorted."""
+    return sorted(COOKBOOK)
+
+
+def run_cookbook_query(engine: CypherEngine, name: str, **params: Any) -> ResultSet:
+    """Execute cookbook query ``name`` with ``params`` on ``engine``.
+
+    Raises:
+        KeyError: unknown query name.
+        ValueError: missing parameters.
+    """
+    query = COOKBOOK[name]
+    missing = [p for p in query.parameters if p not in params]
+    if missing:
+        raise ValueError(f"cookbook query {name!r} needs parameters: {missing}")
+    return engine.run(query.cypher, **params)

@@ -1,0 +1,99 @@
+"""IYP schema constants: node labels and relationship types.
+
+Follows the published Internet Yellow Pages model (Fontugne et al., IMC
+2024): infrastructure entities are nodes, facts from the measurement
+datasets become relationships, and provenance-ish properties (``percent``,
+``rank``, ``hege``, ``rel``) live on the edges.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NodeLabel", "RelType", "EDGE_PATTERNS", "schema_summary"]
+
+
+class NodeLabel:
+    """Node labels used by the synthetic IYP graph."""
+
+    AS = "AS"
+    PREFIX = "Prefix"
+    IP = "IP"
+    DOMAIN_NAME = "DomainName"
+    HOST_NAME = "HostName"
+    COUNTRY = "Country"
+    IXP = "IXP"
+    ORGANIZATION = "Organization"
+    FACILITY = "Facility"
+    TAG = "Tag"
+    RANKING = "Ranking"
+    NAME = "Name"
+    ATLAS_PROBE = "AtlasProbe"
+    URL = "URL"
+
+    ALL = (
+        AS, PREFIX, IP, DOMAIN_NAME, HOST_NAME, COUNTRY, IXP, ORGANIZATION,
+        FACILITY, TAG, RANKING, NAME, ATLAS_PROBE, URL,
+    )
+
+
+class RelType:
+    """Relationship types used by the synthetic IYP graph."""
+
+    NAME = "NAME"
+    COUNTRY = "COUNTRY"
+    ORIGINATE = "ORIGINATE"
+    DEPENDS_ON = "DEPENDS_ON"
+    PEERS_WITH = "PEERS_WITH"
+    MEMBER_OF = "MEMBER_OF"
+    RANK = "RANK"
+    POPULATION = "POPULATION"
+    CATEGORIZED = "CATEGORIZED"
+    MANAGED_BY = "MANAGED_BY"
+    WEBSITE = "WEBSITE"
+    LOCATED_IN = "LOCATED_IN"
+    PART_OF = "PART_OF"
+    RESOLVES_TO = "RESOLVES_TO"
+
+    ALL = (
+        NAME, COUNTRY, ORIGINATE, DEPENDS_ON, PEERS_WITH, MEMBER_OF, RANK,
+        POPULATION, CATEGORIZED, MANAGED_BY, WEBSITE, LOCATED_IN, PART_OF,
+        RESOLVES_TO,
+    )
+
+
+# (start label, relationship type, end label, edge property keys)
+EDGE_PATTERNS: list[tuple[str, str, str, tuple[str, ...]]] = [
+    (NodeLabel.AS, RelType.NAME, NodeLabel.NAME, ()),
+    (NodeLabel.AS, RelType.COUNTRY, NodeLabel.COUNTRY, ()),
+    (NodeLabel.AS, RelType.ORIGINATE, NodeLabel.PREFIX, ()),
+    (NodeLabel.AS, RelType.DEPENDS_ON, NodeLabel.AS, ("hege",)),
+    (NodeLabel.AS, RelType.PEERS_WITH, NodeLabel.AS, ("rel",)),
+    (NodeLabel.AS, RelType.MEMBER_OF, NodeLabel.IXP, ()),
+    (NodeLabel.AS, RelType.RANK, NodeLabel.RANKING, ("rank",)),
+    (NodeLabel.AS, RelType.POPULATION, NodeLabel.COUNTRY, ("percent",)),
+    (NodeLabel.AS, RelType.CATEGORIZED, NodeLabel.TAG, ()),
+    (NodeLabel.AS, RelType.MANAGED_BY, NodeLabel.ORGANIZATION, ()),
+    (NodeLabel.AS, RelType.WEBSITE, NodeLabel.URL, ()),
+    (NodeLabel.ORGANIZATION, RelType.COUNTRY, NodeLabel.COUNTRY, ()),
+    (NodeLabel.ORGANIZATION, RelType.NAME, NodeLabel.NAME, ()),
+    (NodeLabel.IXP, RelType.COUNTRY, NodeLabel.COUNTRY, ()),
+    (NodeLabel.IXP, RelType.MANAGED_BY, NodeLabel.ORGANIZATION, ()),
+    (NodeLabel.IXP, RelType.LOCATED_IN, NodeLabel.FACILITY, ()),
+    (NodeLabel.FACILITY, RelType.COUNTRY, NodeLabel.COUNTRY, ()),
+    (NodeLabel.PREFIX, RelType.COUNTRY, NodeLabel.COUNTRY, ()),
+    (NodeLabel.PREFIX, RelType.CATEGORIZED, NodeLabel.TAG, ()),
+    (NodeLabel.IP, RelType.PART_OF, NodeLabel.PREFIX, ()),
+    (NodeLabel.DOMAIN_NAME, RelType.RESOLVES_TO, NodeLabel.IP, ()),
+    (NodeLabel.HOST_NAME, RelType.PART_OF, NodeLabel.DOMAIN_NAME, ()),
+    (NodeLabel.DOMAIN_NAME, RelType.RANK, NodeLabel.RANKING, ("rank",)),
+    (NodeLabel.ATLAS_PROBE, RelType.COUNTRY, NodeLabel.COUNTRY, ()),
+    (NodeLabel.ATLAS_PROBE, RelType.LOCATED_IN, NodeLabel.AS, ()),
+]
+
+
+def schema_summary() -> str:
+    """One-line-per-pattern textual schema (for docs and prompts)."""
+    lines = []
+    for start, rel_type, end, props in EDGE_PATTERNS:
+        suffix = " {" + ", ".join(props) + "}" if props else ""
+        lines.append(f"(:{start})-[:{rel_type}{suffix}]->(:{end})")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Simulated LLM backbone: text-to-Cypher, verbalizer, judge, reranker."""
+
+from .base import LLM, ChatMessage, CompletionResponse
+from .judge import AnswerJudge, JudgeVerdict, extract_facts
+from .reranker_model import RelevanceScorer
+from .simulated import SimulatedLLM
+from .text2cypher import CypherGeneration, ErrorModel, TextToCypherModel
+from .verbalize import ResultVerbalizer
+
+__all__ = [
+    "LLM",
+    "ChatMessage",
+    "CompletionResponse",
+    "SimulatedLLM",
+    "TextToCypherModel",
+    "CypherGeneration",
+    "ErrorModel",
+    "ResultVerbalizer",
+    "AnswerJudge",
+    "JudgeVerdict",
+    "extract_facts",
+    "RelevanceScorer",
+]

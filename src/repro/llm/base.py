@@ -1,0 +1,55 @@
+"""LLM interface shared by the RAG pipeline and evaluation judges.
+
+Mirrors the small part of an LLM client the pipeline needs: a ``complete``
+call from prompt text to :class:`CompletionResponse`.  The production paper
+used GPT-3.5-Turbo; this repo ships :class:`~repro.llm.simulated.SimulatedLLM`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ChatMessage", "CompletionResponse", "LLM"]
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One chat turn."""
+
+    role: str  # "system", "user" or "assistant"
+    content: str
+
+
+@dataclass
+class CompletionResponse:
+    """The model's reply plus structured side-channel metadata.
+
+    ``metadata`` carries machine-readable detail (e.g. the generated Cypher
+    and its confidence) so tests don't have to re-parse model text.
+    """
+
+    text: str
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class LLM(ABC):
+    """Minimal text-completion interface."""
+
+    @property
+    @abstractmethod
+    def model_name(self) -> str:
+        """Identifier reported in logs and provenance records."""
+
+    @abstractmethod
+    def complete(self, prompt: str) -> CompletionResponse:
+        """Complete ``prompt``; must be deterministic for reproduction."""
+
+    def chat(self, messages: list[ChatMessage]) -> CompletionResponse:
+        """Default chat shim: concatenates messages into one prompt."""
+        prompt = "\n\n".join(f"{m.role}: {m.content}" for m in messages)
+        return self.complete(prompt)

@@ -1,0 +1,167 @@
+"""Grounded answer judge — the GPT-4 stand-in behind the G-Eval metric.
+
+The judge extracts *facts* (numbers, ASNs, prefixes, IPs, domains, proper
+names) from the candidate answer and compares them against facts from the
+reference answer and the gold query's execution results.  Criteria follow
+the G-Eval setup in the paper: factuality, relevance and informativeness,
+combined with a sharpening curve that produces the bimodal score
+distribution the poster reports for G-Eval.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from ..embed.model import HashingEmbedding
+from ..nlp.tokenize import STOPWORDS, word_tokenize
+
+__all__ = ["JudgeVerdict", "AnswerJudge", "extract_facts"]
+
+_NUMBER_RE = re.compile(r"-?\d+(?:\.\d+)?")
+_TECH_RE = re.compile(
+    r"\b(?:as\d{1,7}|\d{1,3}(?:\.\d{1,3}){3}(?:/\d{1,2})?|(?:[a-z0-9\-]+\.)+[a-z]{2,6})\b",
+    re.IGNORECASE,
+)
+_NAME_RE = re.compile(r"\b[A-Z][A-Za-z0-9\-]+(?:\s+[A-Z][A-Za-z0-9\-]+)*\b")
+_NEGATIVE_PHRASES = (
+    "could not find", "no matching", "no records", "not possible",
+    "could not translate", "could not retrieve", "no data",
+)
+
+
+def _normalize_number(text: str) -> str:
+    value = float(text)
+    if value.is_integer():
+        return str(int(value))
+    return f"{value:g}"
+
+
+def extract_facts(text: str) -> set[str]:
+    """Extract normalised factual atoms from an answer."""
+    facts: set[str] = set()
+    for match in _NUMBER_RE.finditer(text):
+        facts.add(_normalize_number(match.group(0)))
+    for match in _TECH_RE.finditer(text):
+        facts.add(match.group(0).lower())
+    for match in _NAME_RE.finditer(text):
+        phrase = match.group(0)
+        words = [word for word in phrase.split() if word.lower() not in STOPWORDS]
+        if not words:
+            continue
+        # Skip bare sentence-initial words like "The" / "According".
+        if len(words) == 1 and words[0].lower() in (
+            "the", "according", "it", "iyp", "found", "there", "top", "based", "a",
+        ):
+            continue
+        facts.add(" ".join(words).lower())
+    return facts
+
+
+@dataclass
+class JudgeVerdict:
+    """Per-criterion judge output."""
+
+    score: float  # final sharpened score in [0, 1]
+    factuality: float
+    relevance: float
+    informativeness: float
+    rating: int  # 1-5, G-Eval style
+    rationale: str = ""
+    candidate_facts: set[str] = field(default_factory=set)
+    gold_facts: set[str] = field(default_factory=set)
+
+
+class AnswerJudge:
+    """Scores a candidate answer against reference + gold grounding."""
+
+    #: criterion weights (paper: factuality, relevance, informativeness)
+    WEIGHTS = (0.62, 0.23, 0.15)
+    #: logistic sharpening — pushes scores toward the extremes (bimodality)
+    SHARPNESS = 9.0
+    MIDPOINT = 0.55
+
+    def __init__(self, embedding: HashingEmbedding | None = None) -> None:
+        self.embedding = embedding or HashingEmbedding()
+
+    def judge(
+        self,
+        question: str,
+        candidate: str,
+        reference: str,
+        gold_facts: set[str] | None = None,
+    ) -> JudgeVerdict:
+        """Evaluate ``candidate`` given the reference answer and gold facts."""
+        reference_facts = extract_facts(reference)
+        grounding = set(reference_facts)
+        if gold_facts:
+            grounding |= {fact.lower() for fact in gold_facts}
+        candidate_facts = extract_facts(candidate)
+
+        factuality = self._factuality(candidate, candidate_facts, reference_facts, grounding)
+        relevance = self._relevance(question, candidate, reference)
+        informativeness = self._informativeness(candidate, candidate_facts, reference_facts)
+
+        weighted = (
+            self.WEIGHTS[0] * factuality
+            + self.WEIGHTS[1] * relevance
+            + self.WEIGHTS[2] * informativeness
+        )
+        score = 1.0 / (1.0 + math.exp(-self.SHARPNESS * (weighted - self.MIDPOINT)))
+        rating = max(1, min(5, 1 + round(score * 4)))
+        rationale = (
+            f"factuality={factuality:.2f} relevance={relevance:.2f} "
+            f"informativeness={informativeness:.2f} -> weighted={weighted:.2f}"
+        )
+        return JudgeVerdict(
+            score=round(score, 4),
+            factuality=round(factuality, 4),
+            relevance=round(relevance, 4),
+            informativeness=round(informativeness, 4),
+            rating=rating,
+            rationale=rationale,
+            candidate_facts=candidate_facts,
+            gold_facts=grounding,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _factuality(
+        self,
+        candidate: str,
+        candidate_facts: set[str],
+        reference_facts: set[str],
+        grounding: set[str],
+    ) -> float:
+        candidate_negative = any(phrase in candidate.lower() for phrase in _NEGATIVE_PHRASES)
+        reference_empty = not reference_facts
+        if reference_empty:
+            # Gold answer itself reports nothing: an honest "no data" is right.
+            return 1.0 if candidate_negative or not candidate_facts else 0.35
+        if candidate_negative or not candidate_facts:
+            return 0.05  # the graph had an answer; the candidate gave none
+        supported = sum(1 for fact in candidate_facts if fact in grounding)
+        precision = supported / len(candidate_facts)
+        recalled = sum(1 for fact in reference_facts if fact in candidate_facts)
+        recall = recalled / len(reference_facts)
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def _relevance(self, question: str, candidate: str, reference: str) -> float:
+        to_question = self.embedding.similarity(question, candidate)
+        to_reference = self.embedding.similarity(reference, candidate)
+        blended = 0.35 * to_question + 0.65 * to_reference
+        return max(0.0, min(1.0, blended * 1.25))
+
+    def _informativeness(
+        self, candidate: str, candidate_facts: set[str], reference_facts: set[str]
+    ) -> float:
+        tokens = word_tokenize(candidate)
+        if not tokens:
+            return 0.0
+        expected = max(1, len(reference_facts))
+        density = min(1.0, len(candidate_facts) / expected)
+        brevity = min(1.0, len(tokens) / 6.0)
+        return 0.7 * density + 0.3 * brevity

@@ -1,0 +1,41 @@
+"""Shallow relevance scorer backing the LLMReranker retrieval stage."""
+
+from __future__ import annotations
+
+from ..embed.model import HashingEmbedding
+from ..nlp.similarity import token_f1
+from ..nlp.tokenize import STOPWORDS, word_tokenize
+
+__all__ = ["RelevanceScorer"]
+
+
+class RelevanceScorer:
+    """Scores (query, passage) relevance on a 0-10 scale.
+
+    Blends embedding cosine with content-word overlap — cheap, monotone,
+    and deterministic; the properties the paper's "shallow LLM-based
+    scorer" provides for context re-ranking.
+    """
+
+    def __init__(self, embedding: HashingEmbedding | None = None) -> None:
+        self.embedding = embedding or HashingEmbedding()
+
+    def score(self, query: str, passage: str) -> float:
+        """Relevance of ``passage`` to ``query`` in [0, 10]."""
+        if not passage.strip():
+            return 0.0
+        semantic = max(0.0, self.embedding.similarity(query, passage))
+        query_content = [t for t in word_tokenize(query) if t not in STOPWORDS]
+        passage_tokens = set(word_tokenize(passage))
+        if query_content:
+            lexical = sum(1 for t in query_content if t in passage_tokens) / len(query_content)
+        else:
+            lexical = 0.0
+        overlap_f1 = token_f1(passage, query)
+        blended = 0.45 * semantic + 0.40 * lexical + 0.15 * overlap_f1
+        return round(10.0 * min(1.0, blended), 3)
+
+    def rank(self, query: str, passages: list[str]) -> list[tuple[int, float]]:
+        """Indices and scores of ``passages`` sorted by decreasing relevance."""
+        scored = [(index, self.score(query, passage)) for index, passage in enumerate(passages)]
+        return sorted(scored, key=lambda pair: (-pair[1], pair[0]))

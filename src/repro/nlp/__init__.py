@@ -1,0 +1,33 @@
+"""Text utilities: tokenisation, n-grams, similarity, entity extraction."""
+
+from .entities import EntityExtractor, ExtractedEntities, Gazetteer
+from .ngrams import char_ngrams, ngram_counts, ngrams
+from .similarity import (
+    cosine_counts,
+    dice,
+    jaccard,
+    levenshtein,
+    normalized_levenshtein,
+    token_f1,
+)
+from .tokenize import STOPWORDS, normalize_text, sentence_split, tokenize, word_tokenize
+
+__all__ = [
+    "tokenize",
+    "word_tokenize",
+    "sentence_split",
+    "normalize_text",
+    "STOPWORDS",
+    "ngrams",
+    "ngram_counts",
+    "char_ngrams",
+    "jaccard",
+    "dice",
+    "cosine_counts",
+    "levenshtein",
+    "normalized_levenshtein",
+    "token_f1",
+    "EntityExtractor",
+    "ExtractedEntities",
+    "Gazetteer",
+]

@@ -1,0 +1,28 @@
+"""N-gram helpers shared by BLEU / ROUGE and the embedding model."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = ["ngrams", "ngram_counts", "char_ngrams"]
+
+
+def ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """All contiguous n-grams of ``tokens`` (empty list when too short)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def ngram_counts(tokens: Sequence[str], n: int) -> Counter:
+    """Multiset of n-grams, as a Counter."""
+    return Counter(ngrams(tokens, n))
+
+
+def char_ngrams(text: str, n: int, pad: bool = True) -> Iterable[str]:
+    """Character n-grams, padded with ``^``/``$`` markers by default."""
+    if pad:
+        text = f"^{text}$"
+    for i in range(max(0, len(text) - n + 1)):
+        yield text[i : i + n]

@@ -1,0 +1,46 @@
+"""Tokenisation used across metrics, embeddings and the simulated LLM."""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize", "word_tokenize", "sentence_split", "normalize_text", "STOPWORDS"]
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:[.\-/_:][A-Za-z0-9]+)*|[^\sA-Za-z0-9]")
+_SIMPLE_WORD_RE = re.compile(r"[a-z0-9]+(?:[.\-/][a-z0-9]+)*")
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+
+STOPWORDS = frozenset(
+    """a an the of in on at to for with by is are was were be been does do did
+    what which who whom whose how many much when where why and or as from
+    that this these those it its their there has have had can could should
+    would will shall please tell me show list give us all any some""".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Full tokenisation: words (keeping ``1.2.3.0/24``-style units) + punctuation."""
+    return _WORD_RE.findall(text)
+
+
+def word_tokenize(text: str, lower: bool = True) -> list[str]:
+    """Word-only tokens; lowercased by default.
+
+    Keeps dotted/slashed compounds together so prefixes, IPs and domain
+    names survive as single tokens.
+    """
+    if lower:
+        text = text.lower()
+    return _SIMPLE_WORD_RE.findall(text)
+
+
+def sentence_split(text: str) -> list[str]:
+    """Naive sentence splitter (good enough for generated answers)."""
+    parts = [part.strip() for part in _SENTENCE_RE.split(text.strip())]
+    return [part for part in parts if part]
+
+
+def normalize_text(text: str) -> str:
+    """Lowercase, collapse whitespace, strip punctuation-only tokens."""
+    words = word_tokenize(text)
+    return " ".join(words)

@@ -1,0 +1,33 @@
+"""Mini retrieval-augmented-generation framework (LlamaIndex substitute)."""
+
+from .decompose import DecomposingQueryEngine, DecompositionPlan, QuestionDecomposer
+from .describe import DESCRIBED_LABELS, build_description_corpus, describe_node
+from .pipeline import PipelineResponse, RetrieverQueryEngine
+from .reranker import LLMReranker, default_rerank_prompt
+from .retriever import Retriever
+from .synthesizer import ResponseSynthesizer, default_answer_prompt
+from .text2cypher_retriever import TextToCypherRetriever, default_text2cypher_prompt
+from .types import NodeWithScore, RetrievalResult, TextNode
+from .vector_retriever import VectorContextRetriever
+
+__all__ = [
+    "Retriever",
+    "TextNode",
+    "NodeWithScore",
+    "RetrievalResult",
+    "TextToCypherRetriever",
+    "VectorContextRetriever",
+    "LLMReranker",
+    "ResponseSynthesizer",
+    "RetrieverQueryEngine",
+    "PipelineResponse",
+    "DecomposingQueryEngine",
+    "DecompositionPlan",
+    "QuestionDecomposer",
+    "describe_node",
+    "build_description_corpus",
+    "DESCRIBED_LABELS",
+    "default_text2cypher_prompt",
+    "default_rerank_prompt",
+    "default_answer_prompt",
+]

@@ -1,0 +1,284 @@
+"""Sub-question decomposition — the paper's future-work direction, built.
+
+The poster's Finding 2 identifies multi-hop structural complexity as
+ChatIYP's failure mode and "opens the door for further future research".
+This module implements the obvious next step: decompose a compound
+question into simple sub-questions the reliable single-relation intents
+can answer, run each through the normal pipeline, and combine the
+structured results programmatically.
+
+``QuestionDecomposer`` recognises compound shapes (peer-of + population,
+tag + organization, IXPs-in-country + membership, membership + dependency)
+and emits a :class:`DecompositionPlan`; ``DecomposingQueryEngine`` wraps a
+:class:`~repro.rag.pipeline.RetrieverQueryEngine` and falls back to it
+untouched whenever no plan applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..nlp.entities import EntityExtractor, Gazetteer
+from .pipeline import PipelineResponse, RetrieverQueryEngine
+
+__all__ = ["DecompositionPlan", "QuestionDecomposer", "DecomposingQueryEngine"]
+
+
+@dataclass
+class DecompositionPlan:
+    """A two-stage sub-question plan.
+
+    ``first`` is asked once; the values in ``item_column`` of its result
+    feed ``per_item_template`` (one sub-question per item, capped at
+    ``max_items``); ``combine`` says how per-item results merge:
+
+    * ``"sum"`` — sum each per-item scalar, report the rounded total;
+    * ``"collect_distinct"`` — union the per-item first columns;
+    * ``"count_containing"`` — count items whose result contains
+      ``match_value`` in its first column.
+    """
+
+    name: str
+    first: str
+    item_column: int
+    per_item_template: str
+    combine: str
+    match_value: Any = None
+    max_items: int = 40
+    unit: str = ""
+    # Self-verification: substrings the generated Cypher of each stage must
+    # contain (the relationship the sub-question is about). A mismatch
+    # triggers a re-ask with a rephrased (coverage-neutral) question.
+    first_expect: tuple[str, ...] = ()
+    per_item_expect: tuple[str, ...] = ()
+
+
+class QuestionDecomposer:
+    """Rule-based decomposition head for compound IYP questions."""
+
+    def __init__(self, gazetteer: Optional[Gazetteer] = None) -> None:
+        self.extractor = EntityExtractor(gazetteer)
+
+    def decompose(self, question: str) -> Optional[DecompositionPlan]:
+        """Return a plan for ``question``, or None when it looks simple."""
+        lowered = question.lower()
+        entities = self.extractor.extract(question)
+
+        def has(*words: str) -> bool:
+            return all(word in lowered for word in words)
+
+        country = entities.countries[0] if entities.countries else None
+        country_name = self._country_name(country) if country else None
+        asn = entities.asns[0] if entities.asns else None
+
+        if has("peer") and ("population" in lowered or "share" in lowered) and asn and country:
+            return DecompositionPlan(
+                name="peers_population",
+                first=f"Which ASes peer with AS{asn}?",
+                item_column=0,
+                per_item_template=(
+                    f"What share of {country_name}'s population does AS{{item}} serve?"
+                ),
+                combine="sum",
+                unit="percent",
+                first_expect=("PEERS_WITH", str(asn)),
+                per_item_expect=("POPULATION", "{item}"),
+            )
+        if ("organization" in lowered or "companies" in lowered or "organisations" in lowered) \
+                and ("tag" in lowered or "categorized" in lowered) and entities.tags:
+            tag = entities.tags[0]
+            return DecompositionPlan(
+                name="orgs_of_tagged_ases",
+                first=f"Which ASes are categorized as {tag}?",
+                item_column=0,
+                per_item_template="What organization manages AS{item}?",
+                combine="collect_distinct",
+                unit="organizations",
+                first_expect=("CATEGORIZED", tag),
+                per_item_expect=("MANAGED_BY", "{item}"),
+            )
+        if has("member") and ("ixp" in lowered or "exchange" in lowered) and country \
+                and not entities.ixps:
+            return DecompositionPlan(
+                name="members_of_ixps_in_country",
+                first=f"Which IXPs operate in {country_name}?",
+                item_column=0,
+                per_item_template="Which ASes are members of {item}?",
+                combine="collect_distinct",
+                unit="ASes",
+                first_expect=("COUNTRY", country),
+                per_item_expect=("MEMBER_OF", "{item}"),
+            )
+        if has("member") and ("depend" in lowered or "rely" in lowered) \
+                and entities.ixps and asn:
+            ixp = entities.ixps[0]
+            return DecompositionPlan(
+                name="ixp_members_depending_on_as",
+                first=f"Which ASes are members of {ixp}?",
+                item_column=0,
+                per_item_template="Which ASes does AS{item} depend on?",
+                combine="count_containing",
+                match_value=asn,
+                unit="members",
+                first_expect=("MEMBER_OF", ixp),
+                per_item_expect=("DEPENDS_ON", "{item}"),
+            )
+        return None
+
+    def _country_name(self, code: str) -> str:
+        for name, mapped in self.extractor.gazetteer.countries.items():
+            if mapped == code and len(name) > 3:
+                return name.title()
+        return code
+
+
+class DecomposingQueryEngine:
+    """Wraps a pipeline with sub-question decomposition for hard questions."""
+
+    def __init__(
+        self,
+        pipeline: RetrieverQueryEngine,
+        decomposer: QuestionDecomposer,
+    ) -> None:
+        self.pipeline = pipeline
+        self.decomposer = decomposer
+
+    def query(self, question: str) -> PipelineResponse:
+        plan = self.decomposer.decompose(question)
+        if plan is None:
+            return self.pipeline.query(question)
+        return self._execute_plan(question, plan)
+
+    # ------------------------------------------------------------------
+
+    #: coverage-neutral rephrasings used to re-roll a failed translation
+    #: (stopword-only additions leave the semantic-parser coverage intact)
+    _RETRY_DECORATIONS = ("{q}", "And {q}", "{q} please", "And {q} please")
+
+    def _ask_checked(self, question: str, expect: tuple[str, ...]) -> PipelineResponse:
+        """Ask through the pipeline, re-asking when validation fails.
+
+        Validation: the generated Cypher must mention every expected
+        fragment — the relationship type the sub-question is about *and*
+        the entity literal (catching dropped or swapped filters) — and
+        execution must have produced a result set. Each retry rephrases
+        the question with stopword-only decoration, deterministically
+        re-rolling the backbone's error model.
+        """
+        response = None
+        fragment_valid: Optional[PipelineResponse] = None
+        for decoration in self._RETRY_DECORATIONS:
+            response = self.pipeline.query(decoration.format(q=question))
+            if not expect:
+                return response
+            cypher = response.cypher or ""
+            if all(frag in cypher for frag in expect):
+                if response.result is not None:
+                    return response
+                # Right query, empty answer (the fallback kicked in): a
+                # legitimate "no rows" outcome — remember it in case no
+                # attempt produces rows.
+                fragment_valid = fragment_valid or response
+        if fragment_valid is not None:
+            return fragment_valid
+        # Every attempt produced a wrong query; suppress its result so a
+        # mistranslation cannot poison the combination step.
+        assert response is not None
+        response.result = None
+        return response
+
+    def _execute_plan(self, question: str, plan: DecompositionPlan) -> PipelineResponse:
+        first_response = self._ask_checked(plan.first, plan.first_expect)
+        sub_cyphers = [f"-- {plan.first}\n{first_response.cypher or '<fallback>'}"]
+        if first_response.result is None or not first_response.result.records:
+            # Can't enumerate items; degrade gracefully to the plain pipeline.
+            response = self.pipeline.query(question)
+            response.diagnostics["decomposition"] = {
+                "plan": plan.name, "status": "first_step_empty",
+            }
+            return response
+
+        items = first_response.result.values(plan.item_column)[: plan.max_items]
+        truncated = len(first_response.result.records) > plan.max_items
+
+        per_item: list[tuple[Any, PipelineResponse]] = []
+        for item in items:
+            sub_question = plan.per_item_template.format(item=item)
+            expect = tuple(frag.format(item=item) for frag in plan.per_item_expect)
+            sub_response = self._ask_checked(sub_question, expect)
+            per_item.append((item, sub_response))
+            sub_cyphers.append(
+                f"-- {sub_question}\n{sub_response.cypher or '<fallback>'}"
+            )
+
+        answer, value = self._combine(plan, per_item, truncated)
+        diagnostics: dict[str, Any] = {
+            "decomposition": {
+                "plan": plan.name,
+                "sub_questions": 1 + len(per_item),
+                "combined_value": value,
+                "truncated": truncated,
+            },
+            "fallback_used": False,
+        }
+        return PipelineResponse(
+            answer=answer,
+            cypher="\n".join(sub_cyphers),
+            retrieval_source="decomposed",
+            context=first_response.context,
+            result=None,
+            diagnostics=diagnostics,
+        )
+
+    def _combine(
+        self,
+        plan: DecompositionPlan,
+        per_item: list[tuple[Any, PipelineResponse]],
+        truncated: bool,
+    ) -> tuple[str, Any]:
+        note = " (largest contributors only)" if truncated else ""
+        if plan.combine == "sum":
+            total = 0.0
+            for _, response in per_item:
+                value = self._scalar(response)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    total += float(value)
+            total = round(total, 1)
+            return (
+                f"The combined {plan.unit} is {total}{note}.",
+                total,
+            )
+        if plan.combine == "collect_distinct":
+            collected: list[Any] = []
+            for _, response in per_item:
+                if response.result is not None:
+                    for value in response.result.values(0):
+                        if value is not None and value not in collected:
+                            collected.append(value)
+            collected.sort(key=str)
+            shown = ", ".join(str(v) for v in collected[:12])
+            more = len(collected) - min(len(collected), 12)
+            suffix = f" and {more} more" if more > 0 else ""
+            return (
+                f"The {plan.unit} are: {shown}{suffix}.",
+                collected,
+            )
+        if plan.combine == "count_containing":
+            count = 0
+            for _, response in per_item:
+                if response.result is None:
+                    continue
+                if any(value == plan.match_value for value in response.result.values(0)):
+                    count += 1
+            return (
+                f"The number of matching {plan.unit} is {count}{note}.",
+                count,
+            )
+        raise ValueError(f"unknown combine mode {plan.combine!r}")
+
+    @staticmethod
+    def _scalar(response: PipelineResponse) -> Any:
+        if response.result is None or not response.result.records:
+            return None
+        return response.result.records[0][0]

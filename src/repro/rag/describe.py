@@ -1,0 +1,106 @@
+"""Graph-node description corpus for the vector retriever.
+
+``VectorContextRetriever`` needs "dense embeddings for node descriptions"
+(paper §2).  This module renders each interesting graph node into a short
+textual description including one-hop context, mirroring how graph-RAG
+frameworks flatten node neighbourhoods into embeddable passages.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..graph.model import Node
+from ..graph.store import GraphStore
+
+__all__ = ["describe_node", "build_description_corpus", "DESCRIBED_LABELS"]
+
+#: labels worth indexing (skip pure leaf-annotation nodes like Name/URL)
+DESCRIBED_LABELS = (
+    "AS", "IXP", "Country", "Organization", "Prefix", "DomainName",
+    "Facility", "Tag", "Ranking",
+)
+
+_REL_PHRASES = {
+    ("out", "COUNTRY"): "registered in {}",
+    ("out", "ORIGINATE"): "originates {}",
+    ("out", "MEMBER_OF"): "member of {}",
+    ("out", "MANAGED_BY"): "managed by {}",
+    ("out", "CATEGORIZED"): "categorized as {}",
+    ("out", "DEPENDS_ON"): "depends on {}",
+    ("out", "PEERS_WITH"): "peers with {}",
+    ("out", "POPULATION"): "serves population in {}",
+    ("out", "LOCATED_IN"): "located in {}",
+    ("out", "RESOLVES_TO"): "resolves to {}",
+    ("out", "PART_OF"): "part of {}",
+    ("in", "ORIGINATE"): "originated by {}",
+    ("in", "MEMBER_OF"): "has member {}",
+    ("in", "MANAGED_BY"): "manages {}",
+    ("in", "PEERS_WITH"): "peers with {}",
+    ("in", "DEPENDS_ON"): "depended on by {}",
+    ("in", "LOCATED_IN"): "hosts {}",
+    ("in", "PART_OF"): "contains {}",
+    ("in", "COUNTRY"): "home of {}",
+}
+
+_MAX_NEIGHBOURS_PER_PHRASE = 4
+
+
+def _entity_name(node: Node) -> str:
+    """A human-readable handle for a node."""
+    if "AS" in node.labels and "asn" in node.properties:
+        name = node.properties.get("name", "")
+        return f"AS{node.properties['asn']}" + (f" ({name})" if name else "")
+    for key in ("name", "prefix", "ip", "label", "country_code", "url", "id"):
+        if key in node.properties:
+            return str(node.properties[key])
+    return f"node {node.node_id}"
+
+
+def describe_node(store: GraphStore, node: Node) -> str:
+    """One-sentence description of ``node`` with one-hop context."""
+    label = sorted(node.labels)[0]
+    header = f"{_entity_name(node)} is a {label} node"
+    if "Country" in node.labels and "name" in node.properties:
+        header = (
+            f"{node.properties['name']} ({node.properties.get('country_code', '')}) "
+            "is a Country node"
+        )
+    phrases: list[str] = []
+    grouped: dict[tuple[str, str], list[str]] = {}
+    counts: Counter[tuple[str, str]] = Counter()
+    for rel in store.relationships_of(node.node_id, "both"):
+        direction = "out" if rel.start_id == node.node_id else "in"
+        key = (direction, rel.rel_type)
+        if key not in _REL_PHRASES:
+            continue
+        counts[key] += 1
+        if counts[key] > _MAX_NEIGHBOURS_PER_PHRASE:
+            continue
+        other = store.node(rel.other_end(node.node_id))
+        grouped.setdefault(key, []).append(_entity_name(other))
+    for key, names in grouped.items():
+        extra = counts[key] - len(names)
+        rendered = ", ".join(names) + (f" and {extra} more" if extra > 0 else "")
+        phrases.append(_REL_PHRASES[key].format(rendered))
+    if phrases:
+        return header + "; " + "; ".join(phrases)
+    return header
+
+
+def build_description_corpus(
+    store: GraphStore,
+    labels: tuple[str, ...] = DESCRIBED_LABELS,
+) -> list[tuple[str, str, dict]]:
+    """(id, description, metadata) triples for every node of ``labels``."""
+    corpus: list[tuple[str, str, dict]] = []
+    for label in labels:
+        for node in store.nodes_by_label(label):
+            corpus.append(
+                (
+                    f"graph-node-{node.node_id}",
+                    describe_node(store, node),
+                    {"graph_node_id": node.node_id, "label": label},
+                )
+            )
+    return corpus

@@ -1,0 +1,127 @@
+"""RetrieverQueryEngine — orchestrates the full RAG pipeline (Figure 1).
+
+Flow, exactly as the paper describes:
+
+1. the **TextToCypherRetriever** translates and executes a graph query;
+2. when symbolic translation fails, or returns sparse results, the
+   **VectorContextRetriever** fetches semantically nearby node
+   descriptions instead;
+3. the **LLMReranker** re-scores the retrieval candidates;
+4. the **ResponseSynthesizer** generates the answer, returning the refined
+   Cypher query alongside for transparency.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..cypher.result import ResultSet
+from .reranker import LLMReranker
+from .synthesizer import ResponseSynthesizer
+from .text2cypher_retriever import TextToCypherRetriever
+from .types import NodeWithScore
+from .vector_retriever import VectorContextRetriever
+
+__all__ = ["PipelineResponse", "RetrieverQueryEngine"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class PipelineResponse:
+    """The pipeline's output: answer text plus full provenance."""
+
+    answer: str
+    cypher: Optional[str]
+    retrieval_source: str
+    context: list[NodeWithScore] = field(default_factory=list)
+    result: Optional[ResultSet] = None
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def used_fallback(self) -> bool:
+        """True when the semantic fallback produced the context."""
+        return self.retrieval_source == "vector"
+
+
+class RetrieverQueryEngine:
+    """Composable query engine over the three retrieval stages."""
+
+    def __init__(
+        self,
+        text2cypher: TextToCypherRetriever,
+        vector: Optional[VectorContextRetriever] = None,
+        reranker: Optional[LLMReranker] = None,
+        synthesizer: Optional[ResponseSynthesizer] = None,
+        vector_fallback: bool = True,
+        sparse_row_threshold: int = 0,
+    ) -> None:
+        if synthesizer is None:
+            raise ValueError("a ResponseSynthesizer is required")
+        self.text2cypher = text2cypher
+        self.vector = vector
+        self.reranker = reranker
+        self.synthesizer = synthesizer
+        self.vector_fallback = vector_fallback
+        self.sparse_row_threshold = sparse_row_threshold
+
+    def query(self, question: str) -> PipelineResponse:
+        """Run the full pipeline for one question."""
+        symbolic = self.text2cypher.retrieve(question)
+        diagnostics: dict[str, Any] = {
+            "generation": dict(symbolic.metadata),
+            "symbolic_error": symbolic.error,
+            "fallback_used": False,
+        }
+
+        if symbolic.error is not None:
+            logger.debug("symbolic retrieval failed for %r: %s", question, symbolic.error)
+        sparse = symbolic.result is not None and (
+            len(symbolic.result.records) <= self.sparse_row_threshold
+        )
+        if symbolic.succeeded and not sparse:
+            context = symbolic.nodes
+            if self.reranker is not None and context:
+                context = self.reranker.rerank(question, context)
+            answer = self.synthesizer.synthesize(question, symbolic, context)
+            return PipelineResponse(
+                answer=answer,
+                cypher=symbolic.cypher,
+                retrieval_source=symbolic.source,
+                context=context,
+                result=symbolic.result,
+                diagnostics=diagnostics,
+            )
+
+        diagnostics["sparse"] = sparse
+        if self.vector is not None and self.vector_fallback:
+            logger.debug(
+                "falling back to vector retrieval for %r (sparse=%s)", question, sparse
+            )
+            diagnostics["fallback_used"] = True
+            semantic = self.vector.retrieve(question)
+            context = semantic.nodes
+            if self.reranker is not None and context:
+                context = self.reranker.rerank(question, context)
+            answer = self.synthesizer.synthesize(question, semantic, context)
+            return PipelineResponse(
+                answer=answer,
+                cypher=symbolic.cypher,  # surfaced even when it failed, for transparency
+                retrieval_source=semantic.source,
+                context=context,
+                result=None,
+                diagnostics=diagnostics,
+            )
+
+        # No fallback configured: answer from whatever the symbolic path has.
+        answer = self.synthesizer.synthesize(question, symbolic, symbolic.nodes)
+        return PipelineResponse(
+            answer=answer,
+            cypher=symbolic.cypher,
+            retrieval_source=symbolic.source,
+            context=symbolic.nodes,
+            result=symbolic.result,
+            diagnostics=diagnostics,
+        )

@@ -1,0 +1,23 @@
+"""Retriever interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .types import RetrievalResult
+
+__all__ = ["Retriever"]
+
+
+class Retriever(ABC):
+    """One retrieval strategy: query text in, scored context out."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier used in provenance records."""
+
+    @abstractmethod
+    def retrieve(self, query: str) -> RetrievalResult:
+        """Retrieve context for ``query``; never raises on query failure —
+        failures are reported through ``RetrievalResult.error``."""

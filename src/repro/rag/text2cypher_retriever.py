@@ -1,0 +1,105 @@
+"""TextToCypherRetriever — the symbolic retrieval path (paper §2, stage 2).
+
+An LLM maps the user question to a Cypher query (through the injected
+prompt chain); the query runs against the graph engine and the structured
+rows come back as retrieval context.  Failures — untranslatable questions,
+syntax errors from the generated query, runtime errors — are captured in
+the result so the pipeline can fall back to semantic retrieval.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable
+
+from ..cypher.errors import CypherError
+from ..cypher.executor import CypherEngine
+from ..cypher.result import ResultSet, render_value
+from ..llm.base import LLM
+from .retriever import Retriever
+from .types import NodeWithScore, RetrievalResult, TextNode
+
+__all__ = ["TextToCypherRetriever", "default_text2cypher_prompt"]
+
+logger = logging.getLogger(__name__)
+
+_MAX_CONTEXT_ROWS = 25
+
+
+def default_text2cypher_prompt(question: str, schema: str) -> str:
+    """Generic text-to-Cypher prompt (ChatIYP injects its own IYP chain)."""
+    return (
+        "[TASK: text2cypher]\n"
+        "Translate the question into a Cypher query over the graph schema.\n"
+        f"[SCHEMA]\n{schema}\n"
+        f"[QUESTION]\n{question}\n"
+    )
+
+
+class TextToCypherRetriever(Retriever):
+    """LLM → Cypher → graph execution → structured context."""
+
+    def __init__(
+        self,
+        engine: CypherEngine,
+        llm: LLM,
+        schema_text: str = "",
+        prompt_builder: Callable[[str, str], str] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.llm = llm
+        self.schema_text = schema_text
+        self.prompt_builder = prompt_builder or default_text2cypher_prompt
+
+    @property
+    def name(self) -> str:
+        return "text2cypher"
+
+    def retrieve(self, query: str) -> RetrievalResult:
+        prompt = self.prompt_builder(query, self.schema_text)
+        completion = self.llm.complete(prompt)
+        cypher = completion.metadata.get("cypher")
+        generation_meta = {
+            key: completion.metadata.get(key)
+            for key in ("confidence", "intent", "perturbation", "coverage")
+        }
+        if not cypher:
+            return RetrievalResult(
+                source=self.name,
+                error="translation_failed",
+                metadata=generation_meta,
+            )
+        logger.debug("generated cypher for %r: %s", query, cypher)
+        try:
+            result = self.engine.run(cypher)
+        except CypherError as exc:
+            logger.debug("generated cypher failed: %s", exc)
+            return RetrievalResult(
+                source=self.name,
+                cypher=cypher,
+                error=f"{type(exc).__name__}: {exc}",
+                metadata=generation_meta,
+            )
+        return RetrievalResult(
+            nodes=self._result_nodes(result),
+            source=self.name,
+            cypher=cypher,
+            result=result,
+            metadata=generation_meta,
+        )
+
+    @staticmethod
+    def _result_nodes(result: ResultSet) -> list[NodeWithScore]:
+        """Render result rows into scored text nodes (symbolic hits score 1.0)."""
+        nodes = []
+        for index, record in enumerate(result.records[:_MAX_CONTEXT_ROWS]):
+            text = ", ".join(
+                f"{key}: {render_value(value)}" for key, value in record.items()
+            )
+            nodes.append(
+                NodeWithScore(
+                    node=TextNode(node_id=f"row-{index}", text=text, metadata={"row": index}),
+                    score=1.0,
+                )
+            )
+        return nodes

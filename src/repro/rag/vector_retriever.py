@@ -1,0 +1,73 @@
+"""VectorContextRetriever — the semantic retrieval path (paper §2).
+
+When structured queries fail or return sparse results, dense embeddings of
+node descriptions fetch textual context of nearby graph nodes via vector
+similarity.  Useful for vague questions and the robustness fallback.
+"""
+
+from __future__ import annotations
+
+from ..embed.vector_store import VectorStore
+from ..graph.store import GraphStore
+from ..nlp.tokenize import STOPWORDS, word_tokenize
+from .describe import DESCRIBED_LABELS, build_description_corpus
+from .retriever import Retriever
+from .types import NodeWithScore, RetrievalResult, TextNode
+
+__all__ = ["VectorContextRetriever"]
+
+
+class VectorContextRetriever(Retriever):
+    """Hybrid retrieval over graph-node descriptions.
+
+    Dense cosine similarity provides recall; a lexical boost on distinctive
+    query tokens (entity handles like ``AS2497`` or ``203.0.113.0/24``)
+    provides the precision dense hashing alone lacks — the usual
+    dense + sparse hybrid of production RAG stacks.
+    """
+
+    #: fetch this many dense candidates per requested result before boosting
+    _OVERSAMPLE = 4
+    _LEXICAL_WEIGHT = 0.6
+
+    def __init__(
+        self,
+        store: GraphStore,
+        vector_store: VectorStore | None = None,
+        top_k: int = 8,
+        labels: tuple[str, ...] = DESCRIBED_LABELS,
+    ) -> None:
+        self.graph_store = store
+        self.top_k = top_k
+        self.vector_store = vector_store or VectorStore()
+        if len(self.vector_store) == 0:
+            self.vector_store.add_batch(build_description_corpus(store, labels))
+
+    @property
+    def name(self) -> str:
+        return "vector"
+
+    def retrieve(self, query: str) -> RetrievalResult:
+        hits = self.vector_store.search(
+            query, top_k=self.top_k * self._OVERSAMPLE, min_score=0.02
+        )
+        distinctive = {
+            token
+            for token in word_tokenize(query)
+            if token not in STOPWORDS and (len(token) > 3 or any(c.isdigit() for c in token))
+        }
+        scored: list[NodeWithScore] = []
+        for hit in hits:
+            score = hit.score
+            if distinctive:
+                text_tokens = set(word_tokenize(hit.text))
+                overlap = len(distinctive & text_tokens) / len(distinctive)
+                score += self._LEXICAL_WEIGHT * overlap
+            scored.append(
+                NodeWithScore(
+                    node=TextNode(node_id=hit.entry_id, text=hit.text, metadata=hit.metadata),
+                    score=round(score, 6),
+                )
+            )
+        scored.sort(key=lambda item: -item.score)
+        return RetrievalResult(nodes=scored[: self.top_k], source=self.name)

@@ -1,0 +1,13 @@
+"""HTTP API and CLI front-ends for ChatIYP."""
+
+from .app import ChatIYPRequestHandler, make_server, serve, start_background
+from .cli import chat_loop, main
+
+__all__ = [
+    "make_server",
+    "serve",
+    "start_background",
+    "ChatIYPRequestHandler",
+    "chat_loop",
+    "main",
+]

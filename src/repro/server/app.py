@@ -1,0 +1,184 @@
+"""JSON-over-HTTP API for ChatIYP (the paper's web application).
+
+Stdlib-only HTTP server exposing:
+
+* ``POST /ask`` — body ``{"question": "..."}`` → answer + Cypher + provenance
+* ``POST /cypher`` — body ``{"query": "...", "params": {...}}`` → rows
+  (read-only queries only; writes are rejected with 403)
+* ``GET  /health`` — liveness and graph stats
+* ``GET  /schema`` — the graph schema text ChatIYP prompts with
+* ``GET  /cookbook`` — the named IYP query cookbook
+
+Start programmatically via :func:`make_server` (tests bind port 0), or from
+a shell::
+
+    python -m repro.server --port 8080 --size small
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core.chatiyp import ChatIYP
+from ..cypher import CypherError, CypherSyntaxError, is_read_only, render_value
+from ..iyp.queries import COOKBOOK
+
+__all__ = ["make_server", "ChatIYPRequestHandler", "serve"]
+
+_MAX_BODY = 64 * 1024
+
+
+class ChatIYPRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the ChatIYP instance attached to the server."""
+
+    server_version = "ChatIYP/1.0"
+
+    @property
+    def chatiyp(self) -> ChatIYP:
+        return self.server.chatiyp  # type: ignore[attr-defined]
+
+    # -- helpers ----------------------------------------------------------
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # -- routes -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/health":
+            store = self.chatiyp.store
+            self._send_json(
+                {
+                    "status": "ok",
+                    "model": self.chatiyp.llm.model_name,
+                    "nodes": store.node_count,
+                    "relationships": store.relationship_count,
+                }
+            )
+            return
+        if self.path == "/schema":
+            self._send_json({"schema": self.chatiyp.schema})
+            return
+        if self.path == "/cookbook":
+            self._send_json(
+                {
+                    "queries": [
+                        {
+                            "name": query.name,
+                            "description": query.description,
+                            "parameters": list(query.parameters),
+                            "cypher": query.cypher,
+                        }
+                        for query in COOKBOOK.values()
+                    ]
+                }
+            )
+            return
+        self._send_json({"error": "not found"}, status=404)
+
+    def _read_json_body(self) -> dict | None:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0 or length > _MAX_BODY:
+            self._send_json({"error": "bad request body"}, status=400)
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError:
+            self._send_json({"error": "body must be valid JSON"}, status=400)
+            return None
+        if not isinstance(payload, dict):
+            self._send_json({"error": "body must be a JSON object"}, status=400)
+            return None
+        return payload
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path == "/ask":
+            self._handle_ask()
+            return
+        if self.path == "/cypher":
+            self._handle_cypher()
+            return
+        self._send_json({"error": "not found"}, status=404)
+
+    def _handle_ask(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        question = payload.get("question")
+        if not isinstance(question, str) or not question.strip():
+            self._send_json({"error": "'question' must be a non-empty string"}, status=400)
+            return
+        response = self.chatiyp.ask(question)
+        self._send_json(response.to_dict())
+
+    def _handle_cypher(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        query = payload.get("query")
+        params = payload.get("params") or {}
+        if not isinstance(query, str) or not query.strip():
+            self._send_json({"error": "'query' must be a non-empty string"}, status=400)
+            return
+        if not isinstance(params, dict):
+            self._send_json({"error": "'params' must be an object"}, status=400)
+            return
+        try:
+            if not is_read_only(query):
+                self._send_json(
+                    {"error": "write queries are not allowed over the API"}, status=403
+                )
+                return
+            result = self.chatiyp.run_cypher(query, **params)
+        except CypherSyntaxError as exc:
+            self._send_json({"error": f"syntax error: {exc}"}, status=400)
+            return
+        except CypherError as exc:
+            self._send_json({"error": f"query failed: {exc}"}, status=400)
+            return
+        rows = [
+            {key: render_value(value) for key, value in record.to_dict().items()}
+            for record in result.records[:200]
+        ]
+        self._send_json({"keys": result.keys, "rows": rows, "row_count": len(result)})
+
+
+def make_server(
+    chatiyp: ChatIYP, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+) -> ThreadingHTTPServer:
+    """Create (but do not start) the HTTP server bound to ``host:port``."""
+    server = ThreadingHTTPServer((host, port), ChatIYPRequestHandler)
+    server.chatiyp = chatiyp  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve(chatiyp: ChatIYP, host: str = "127.0.0.1", port: int = 8080) -> None:
+    """Run the server until interrupted."""
+    server = make_server(chatiyp, host, port, verbose=True)
+    print(f"ChatIYP listening on http://{host}:{server.server_address[1]}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+
+
+def start_background(chatiyp: ChatIYP, host: str = "127.0.0.1") -> tuple[ThreadingHTTPServer, int]:
+    """Start on an ephemeral port in a daemon thread; returns (server, port)."""
+    server = make_server(chatiyp, host, 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, server.server_address[1]

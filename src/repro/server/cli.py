@@ -1,0 +1,67 @@
+"""Interactive command-line chat with ChatIYP."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, TextIO
+
+from ..core.chatiyp import ChatIYP
+from ..core.config import ChatIYPConfig
+from ..core.transparency import render_response
+
+__all__ = ["main", "chat_loop"]
+
+_BANNER = """ChatIYP — natural-language access to the Internet Yellow Pages
+Type a question (e.g. "What is the percentage of Japan's population in AS2497?").
+Commands: :schema  :quit
+"""
+
+
+def chat_loop(
+    chatiyp: ChatIYP,
+    lines: Iterable[str],
+    out: TextIO = sys.stdout,
+    show_context: bool = False,
+) -> int:
+    """Drive the REPL over ``lines``; returns the number of answered questions."""
+    answered = 0
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        if line in (":quit", ":q", "exit"):
+            break
+        if line == ":schema":
+            print(chatiyp.schema, file=out)
+            continue
+        response = chatiyp.ask(line)
+        print(render_response(response, show_context=show_context), file=out)
+        print(file=out)
+        answered += 1
+    return answered
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="chatiyp", description="Chat with the IYP graph")
+    parser.add_argument("--size", default="small", choices=("small", "medium", "large"))
+    parser.add_argument("--seed", type=int, default=0, help="backbone LLM seed")
+    parser.add_argument("--context", action="store_true", help="show retrieved context")
+    parser.add_argument("--serve", action="store_true", help="run the HTTP server instead")
+    parser.add_argument("--port", type=int, default=8080)
+    args = parser.parse_args(argv)
+
+    config = ChatIYPConfig(seed=args.seed, dataset_size=args.size)
+    chatiyp = ChatIYP(config=config)
+    if args.serve:
+        from .app import serve
+
+        serve(chatiyp, port=args.port)
+        return 0
+    print(_BANNER)
+    chat_loop(chatiyp, sys.stdin, show_context=args.context)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Tests for the baseline systems."""
+
+import pytest
+
+from repro.baselines import PythiaBaseline, VectorOnlyBaseline
+from repro.core import ChatIYPConfig
+
+
+@pytest.fixture(scope="module")
+def pythia(small_dataset):
+    config = ChatIYPConfig(dataset_size="small", error_base=0.0, error_slope=0.0)
+    return PythiaBaseline(dataset=small_dataset, config=config)
+
+
+@pytest.fixture(scope="module")
+def vector_only(small_dataset):
+    return VectorOnlyBaseline(
+        dataset=small_dataset, config=ChatIYPConfig(dataset_size="small")
+    )
+
+
+class TestPythiaBaseline:
+    def test_answers_translatable_questions(self, pythia):
+        response = pythia.ask("Which country is AS2497 registered in?")
+        assert "Japan" in response.answer
+        assert response.retrieval_source == "text2cypher"
+
+    def test_never_uses_fallback(self, pythia):
+        response = pythia.ask("tell me something fun about the internet")
+        assert not response.used_fallback
+        assert response.retrieval_source == "text2cypher"
+        assert "could not" in response.answer.lower()
+
+    def test_forces_flags_regardless_of_config(self, small_dataset):
+        config = ChatIYPConfig(
+            dataset_size="small", use_vector_fallback=True,
+            use_reranker=True, use_decomposition=True,
+        )
+        baseline = PythiaBaseline(dataset=small_dataset, config=config)
+        assert baseline.config.use_vector_fallback is False
+        assert baseline.config.use_reranker is False
+        assert baseline.config.use_decomposition is False
+
+    def test_name(self, pythia):
+        assert pythia.name == "pythia-baseline"
+
+    def test_harness_compatible(self, pythia):
+        from repro.eval import EvaluationHarness, build_cyphereval
+
+        questions = build_cyphereval(pythia.dataset, per_template=1)[:5]
+        report = EvaluationHarness(pythia, questions).run()
+        assert len(report) == 5
+
+
+class TestVectorOnlyBaseline:
+    def test_always_answers_from_context(self, vector_only):
+        response = vector_only.ask("Which country is AS2497 registered in?")
+        assert response.retrieval_source == "vector"
+        assert response.cypher is None
+        assert response.context_snippets
+
+    def test_related_content_retrieved(self, vector_only):
+        response = vector_only.ask("Tell me about AS2497 in Japan")
+        joined = " ".join(response.context_snippets)
+        assert "AS2497" in joined
+
+    def test_empty_question(self, vector_only):
+        response = vector_only.ask("   ")
+        assert response.retrieval_source == "none"
+
+    def test_harness_compatible(self, vector_only):
+        from repro.eval import EvaluationHarness, build_cyphereval
+
+        questions = build_cyphereval(vector_only.dataset, per_template=1)[:5]
+        report = EvaluationHarness(vector_only, questions).run()
+        assert len(report) == 5
+        assert all(e.retrieval_source == "vector" for e in report.evaluations)
+
+    def test_cannot_produce_precise_numbers(self, vector_only, small_dataset):
+        """The structural weakness the comparison bench quantifies."""
+        response = vector_only.ask(
+            "What is the percentage of Japan's population in AS2497?"
+        )
+        # The correct scalar can only come from executing the query; the
+        # baseline instead paraphrases nearby descriptions.
+        assert response.result is None

@@ -1,0 +1,95 @@
+"""Tests for conversational sessions (follow-up resolution)."""
+
+import pytest
+
+from repro.core import ChatIYP, ChatIYPConfig, ChatSession
+
+
+@pytest.fixture()
+def session(small_dataset):
+    config = ChatIYPConfig(dataset_size="small", error_base=0.0, error_slope=0.0)
+    return ChatSession(ChatIYP(dataset=small_dataset, config=config))
+
+
+class TestResolution:
+    def test_self_contained_question_unchanged(self, session):
+        question = "Which country is AS2497 registered in?"
+        assert session.resolve(question) == question
+
+    def test_pronoun_injection_after_as_question(self, session):
+        session.ask("Which country is AS2497 registered in?")
+        resolved = session.resolve("How many prefixes does it originate?")
+        assert "AS2497" in resolved
+        assert " it " not in f" {resolved} "
+
+    def test_possessive_pronoun(self, session):
+        session.ask("Which country is AS2497 registered in?")
+        resolved = session.resolve("What are its tags?")
+        assert "AS2497's" in resolved
+
+    def test_elliptical_asn_swap(self, session):
+        session.ask("Which country is AS2497 registered in?")
+        resolved = session.resolve("And AS15169?")
+        assert resolved == "Which country is AS15169 registered in?"
+
+    def test_what_about_swap(self, session):
+        session.ask("How many prefixes does AS2497 originate?")
+        resolved = session.resolve("What about AS13335?")
+        assert resolved == "How many prefixes does AS13335 originate?"
+
+    def test_country_swap(self, session):
+        session.ask("How many ASes are registered in Japan?")
+        resolved = session.resolve("And Germany?")
+        assert resolved == "How many ASes are registered in Germany?"
+
+    def test_long_followup_not_swapped(self, session):
+        session.ask("Which country is AS2497 registered in?")
+        question = "And how would the routing system behave under failures of AS15169?"
+        resolved = session.resolve(question)
+        assert "registered" not in resolved  # not treated as elliptical
+
+    def test_no_state_no_rewrite(self, session):
+        assert session.resolve("And AS15169?") == "And AS15169?"
+        assert session.resolve("What are its tags?") == "What are its tags?"
+
+
+class TestSessionFlow:
+    def test_followup_round_trip(self, session):
+        first = session.ask("Which country is AS2497 registered in?")
+        assert "Japan" in first.answer
+        second = session.ask("How many prefixes does it originate?")
+        assert second.diagnostics["resolved_question"].startswith("How many prefixes does AS2497")
+        assert second.retrieval_source == "text2cypher"
+        assert "2497" in second.cypher
+
+    def test_elliptical_round_trip(self, session):
+        session.ask("Which country is AS2497 registered in?")
+        second = session.ask("And AS15169?")
+        assert "United States" in second.answer
+
+    def test_history_recorded(self, session):
+        session.ask("Which country is AS2497 registered in?")
+        session.ask("And AS15169?")
+        assert len(session.history) == 2
+        assert session.history[1].user_question == "And AS15169?"
+        assert "AS15169" in session.history[1].resolved_question
+
+    def test_history_bounded(self, small_dataset):
+        config = ChatIYPConfig(dataset_size="small", error_base=0.0, error_slope=0.0)
+        session = ChatSession(ChatIYP(dataset=small_dataset, config=config), max_history=3)
+        for i in range(6):
+            session.ask(f"What is the name of AS{2497 + i}?")
+        assert len(session.history) == 3
+
+    def test_reset_clears_state(self, session):
+        session.ask("Which country is AS2497 registered in?")
+        session.reset()
+        assert session.history == []
+        assert session.resolve("And AS15169?") == "And AS15169?"
+
+    def test_entity_state_updates_across_turns(self, session):
+        session.ask("Which country is AS2497 registered in?")
+        session.ask("And AS15169?")
+        # The most recent AS is now 15169.
+        resolved = session.resolve("How many peers does it have?")
+        assert "AS15169" in resolved

@@ -1,0 +1,281 @@
+"""Expression evaluation semantics (ternary logic, arithmetic, functions)."""
+
+import math
+
+import pytest
+
+from repro.cypher import CypherRuntimeError, CypherTypeError, execute
+from repro.cypher.errors import UnknownFunctionError
+from repro.graph import GraphStore
+
+
+@pytest.fixture()
+def store():
+    return GraphStore()
+
+
+def value_of(store, expression, **params):
+    return execute(store, f"RETURN {expression} AS v", **params).single()["v"]
+
+
+class TestLiteralsAndArithmetic:
+    def test_literals(self, store):
+        assert value_of(store, "42") == 42
+        assert value_of(store, "3.5") == 3.5
+        assert value_of(store, "'hi'") == "hi"
+        assert value_of(store, "true") is True
+        assert value_of(store, "null") is None
+
+    def test_arithmetic(self, store):
+        assert value_of(store, "1 + 2 * 3") == 7
+        assert value_of(store, "(1 + 2) * 3") == 9
+        assert value_of(store, "7 % 3") == 1
+        assert value_of(store, "2 ^ 10") == 1024.0
+
+    def test_integer_division_truncates_toward_zero(self, store):
+        assert value_of(store, "7 / 2") == 3
+        assert value_of(store, "-7 / 2") == -3
+
+    def test_float_division(self, store):
+        assert value_of(store, "7.0 / 2") == 3.5
+
+    def test_division_by_zero_integer_raises(self, store):
+        with pytest.raises(CypherRuntimeError):
+            value_of(store, "1 / 0")
+
+    def test_modulo_by_zero_raises(self, store):
+        with pytest.raises(CypherRuntimeError):
+            value_of(store, "1 % 0")
+
+    def test_unary_minus(self, store):
+        assert value_of(store, "-(1 + 2)") == -3
+
+    def test_string_concatenation(self, store):
+        assert value_of(store, "'a' + 'b'") == "ab"
+        assert value_of(store, "'a' + 1") == "a1"
+
+    def test_list_concatenation(self, store):
+        assert value_of(store, "[1] + [2, 3]") == [1, 2, 3]
+        assert value_of(store, "[1] + 2") == [1, 2]
+
+    def test_arithmetic_with_null_is_null(self, store):
+        assert value_of(store, "1 + null") is None
+        assert value_of(store, "null * 3") is None
+
+    def test_boolean_arithmetic_rejected(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "true + 1")
+
+
+class TestTernaryLogic:
+    def test_and(self, store):
+        assert value_of(store, "true AND true") is True
+        assert value_of(store, "true AND false") is False
+        assert value_of(store, "false AND null") is False
+        assert value_of(store, "true AND null") is None
+
+    def test_or(self, store):
+        assert value_of(store, "false OR true") is True
+        assert value_of(store, "false OR null") is None
+        assert value_of(store, "true OR null") is True
+
+    def test_xor(self, store):
+        assert value_of(store, "true XOR false") is True
+        assert value_of(store, "true XOR true") is False
+        assert value_of(store, "true XOR null") is None
+
+    def test_not(self, store):
+        assert value_of(store, "NOT false") is True
+        assert value_of(store, "NOT null") is None
+
+    def test_comparisons_with_null(self, store):
+        assert value_of(store, "1 = null") is None
+        assert value_of(store, "null <> null") is None
+        assert value_of(store, "1 < null") is None
+
+    def test_is_null(self, store):
+        assert value_of(store, "null IS NULL") is True
+        assert value_of(store, "1 IS NULL") is False
+        assert value_of(store, "1 IS NOT NULL") is True
+
+    def test_chained_comparison(self, store):
+        assert value_of(store, "1 < 2 < 3") is True
+        assert value_of(store, "1 < 3 < 2") is False
+
+    def test_cross_type_equality_false(self, store):
+        assert value_of(store, "1 = 'one'") is False
+        assert value_of(store, "true = 1") is False
+
+    def test_numeric_equality_across_int_float(self, store):
+        assert value_of(store, "1 = 1.0") is True
+
+    def test_list_equality(self, store):
+        assert value_of(store, "[1, 2] = [1, 2]") is True
+        assert value_of(store, "[1, 2] = [2, 1]") is False
+        assert value_of(store, "[1, null] = [1, 2]") is None
+
+
+class TestPredicates:
+    def test_string_predicates(self, store):
+        assert value_of(store, "'hello' STARTS WITH 'he'") is True
+        assert value_of(store, "'hello' ENDS WITH 'lo'") is True
+        assert value_of(store, "'hello' CONTAINS 'ell'") is True
+        assert value_of(store, "'hello' CONTAINS 'xyz'") is False
+
+    def test_string_predicate_null(self, store):
+        assert value_of(store, "null STARTS WITH 'a'") is None
+
+    def test_regex(self, store):
+        assert value_of(store, "'AS2497' =~ 'AS[0-9]+'") is True
+        assert value_of(store, "'AS2497' =~ '[0-9]+'") is False  # full match
+
+    def test_in_semantics(self, store):
+        assert value_of(store, "2 IN [1, 2, 3]") is True
+        assert value_of(store, "5 IN [1, 2, 3]") is False
+        assert value_of(store, "5 IN [1, null]") is None
+        assert value_of(store, "1 IN [1, null]") is True
+        assert value_of(store, "1 IN null") is None
+
+
+class TestCollectionsAndCase:
+    def test_subscript(self, store):
+        assert value_of(store, "[10, 20, 30][1]") == 20
+        assert value_of(store, "[10, 20, 30][-1]") == 30
+        assert value_of(store, "[10][5]") is None
+
+    def test_slice(self, store):
+        assert value_of(store, "[1,2,3,4][1..3]") == [2, 3]
+        assert value_of(store, "[1,2,3,4][..2]") == [1, 2]
+        assert value_of(store, "[1,2,3,4][2..]") == [3, 4]
+
+    def test_map_literal_access(self, store):
+        assert value_of(store, "{a: 1}.a") == 1
+        assert value_of(store, "{a: 1}['a']") == 1
+
+    def test_case_generic(self, store):
+        assert value_of(store, "CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END") == "b"
+        assert value_of(store, "CASE WHEN false THEN 'a' END") is None
+
+    def test_case_simple(self, store):
+        assert value_of(store, "CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END") == "two"
+
+    def test_list_comprehension(self, store):
+        assert value_of(store, "[x IN [1,2,3,4] WHERE x % 2 = 0 | x * 10]") == [20, 40]
+        assert value_of(store, "[x IN [1,2] | x + 1]") == [2, 3]
+        assert value_of(store, "[x IN [1,2,3] WHERE x > 1]") == [2, 3]
+
+
+class TestScalarFunctions:
+    def test_string_functions(self, store):
+        assert value_of(store, "toUpper('abc')") == "ABC"
+        assert value_of(store, "toLower('ABC')") == "abc"
+        assert value_of(store, "trim('  x  ')") == "x"
+        assert value_of(store, "replace('a-b', '-', '+')") == "a+b"
+        assert value_of(store, "split('a,b,c', ',')") == ["a", "b", "c"]
+        assert value_of(store, "substring('hello', 1, 3)") == "ell"
+        assert value_of(store, "left('hello', 2)") == "he"
+        assert value_of(store, "right('hello', 2)") == "lo"
+        assert value_of(store, "reverse('abc')") == "cba"
+
+    def test_conversion_functions(self, store):
+        assert value_of(store, "toString(42)") == "42"
+        assert value_of(store, "toString(2.0)") == "2.0"
+        assert value_of(store, "toInteger('42')") == 42
+        assert value_of(store, "toInteger('x')") is None
+        assert value_of(store, "toFloat('2.5')") == 2.5
+        assert value_of(store, "toBoolean('true')") is True
+
+    def test_math_functions(self, store):
+        assert value_of(store, "abs(-3)") == 3
+        assert value_of(store, "sign(-3)") == -1
+        assert value_of(store, "ceil(1.2)") == 2
+        assert value_of(store, "floor(1.8)") == 1
+        assert value_of(store, "sqrt(16)") == 4.0
+        assert value_of(store, "round(2.5)") == 3.0
+        assert value_of(store, "round(-2.5)") == -3.0
+        assert value_of(store, "round(3.14159, 2)") == 3.14
+        assert abs(value_of(store, "exp(1)") - math.e) < 1e-9
+        assert abs(value_of(store, "pi()") - math.pi) < 1e-12
+
+    def test_list_functions(self, store):
+        assert value_of(store, "size([1,2,3])") == 3
+        assert value_of(store, "size('abcd')") == 4
+        assert value_of(store, "head([1,2])") == 1
+        assert value_of(store, "last([1,2])") == 2
+        assert value_of(store, "tail([1,2,3])") == [2, 3]
+        assert value_of(store, "head([])") is None
+        assert value_of(store, "range(1, 5)") == [1, 2, 3, 4, 5]
+        assert value_of(store, "range(0, 10, 5)") == [0, 5, 10]
+        assert value_of(store, "range(3, 1, -1)") == [3, 2, 1]
+
+    def test_coalesce(self, store):
+        assert value_of(store, "coalesce(null, null, 3)") == 3
+        assert value_of(store, "coalesce(null, null)") is None
+
+    def test_null_propagation_in_functions(self, store):
+        assert value_of(store, "toUpper(null)") is None
+        assert value_of(store, "size(null)") is None
+
+    def test_case_insensitive_function_names(self, store):
+        assert value_of(store, "TOUPPER('a')") == "A"
+
+    def test_unknown_function(self, store):
+        with pytest.raises(UnknownFunctionError):
+            value_of(store, "shazam(1)")
+
+    def test_range_zero_step_rejected(self, store):
+        with pytest.raises(CypherRuntimeError):
+            value_of(store, "range(1, 3, 0)")
+
+
+class TestGraphFunctions:
+    def test_id_labels_type(self, tiny_store):
+        result = execute(
+            tiny_store,
+            "MATCH (a:AS {asn: 2497})-[r:COUNTRY]->(c) "
+            "RETURN id(a) AS ida, labels(a) AS la, type(r) AS tr",
+        ).single()
+        assert result["ida"] == 0
+        assert result["la"] == ["AS"]
+        assert result["tr"] == "COUNTRY"
+
+    def test_properties_and_keys(self, tiny_store):
+        record = execute(
+            tiny_store,
+            "MATCH (a:AS {asn: 2497}) RETURN properties(a) AS p, keys(a) AS k",
+        ).single()
+        assert record["p"] == {"asn": 2497, "name": "IIJ"}
+        assert record["k"] == ["asn", "name"]
+
+    def test_start_end_node(self, tiny_store):
+        record = execute(
+            tiny_store,
+            "MATCH (:AS {asn: 2497})-[r:PEERS_WITH]-(:AS) "
+            "RETURN startNode(r).asn AS s, endNode(r).asn AS e",
+        ).single()
+        assert (record["s"], record["e"]) == (2497, 15169)
+
+    def test_degree(self, tiny_store):
+        record = execute(
+            tiny_store, "MATCH (a:AS {asn: 2497}) RETURN degree(a) AS d"
+        ).single()
+        assert record["d"] == 4
+
+    def test_haslabel_via_predicate(self, tiny_store):
+        result = execute(tiny_store, "MATCH (n) WHERE n:AS RETURN count(*) AS c")
+        assert result.single()["c"] == 2
+
+
+class TestParameters:
+    def test_parameter_substitution(self, tiny_store):
+        result = execute(
+            tiny_store, "MATCH (a:AS {asn: $asn}) RETURN a.name AS name", asn=2497
+        )
+        assert result.single()["name"] == "IIJ"
+
+    def test_missing_parameter(self, store):
+        with pytest.raises(CypherRuntimeError):
+            value_of(store, "$nope")
+
+    def test_parameter_in_expression(self, store):
+        assert value_of(store, "$x * 2", x=21) == 42

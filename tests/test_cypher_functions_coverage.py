@@ -1,0 +1,222 @@
+"""Exhaustive coverage of remaining scalar-function behaviours and errors."""
+
+import math
+
+import pytest
+
+from repro.cypher import CypherRuntimeError, CypherTypeError, execute
+from repro.graph import GraphStore
+
+
+@pytest.fixture()
+def store():
+    return GraphStore()
+
+
+def value_of(store, expression, **params):
+    return execute(store, f"RETURN {expression} AS v", **params).single()["v"]
+
+
+class TestStringFunctionEdges:
+    def test_trim_variants(self, store):
+        assert value_of(store, "lTrim('  x ')") == "x "
+        assert value_of(store, "rTrim(' x  ')") == " x"
+
+    def test_upper_lower_aliases(self, store):
+        assert value_of(store, "upper('ab')") == "AB"
+        assert value_of(store, "lower('AB')") == "ab"
+
+    def test_substring_without_length(self, store):
+        assert value_of(store, "substring('chatiyp', 4)") == "iyp"
+
+    def test_left_right_zero(self, store):
+        assert value_of(store, "left('abc', 0)") == ""
+        assert value_of(store, "right('abc', 0)") == ""
+
+    def test_string_fn_type_errors(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "toUpper(42)")
+        with pytest.raises(CypherTypeError):
+            value_of(store, "split(42, ',')")
+        with pytest.raises(CypherTypeError):
+            value_of(store, "split('a,b', 7)")
+        with pytest.raises(CypherTypeError):
+            value_of(store, "replace('a', 1, 'b')")
+
+    def test_reverse_types(self, store):
+        assert value_of(store, "reverse([1, 2, 3])") == [3, 2, 1]
+        with pytest.raises(CypherTypeError):
+            value_of(store, "reverse(42)")
+
+
+class TestMathFunctionEdges:
+    def test_trig(self, store):
+        assert value_of(store, "sin(0)") == pytest.approx(0.0)
+        assert value_of(store, "cos(0)") == pytest.approx(1.0)
+        assert value_of(store, "tan(0)") == pytest.approx(0.0)
+
+    def test_logs(self, store):
+        assert value_of(store, "log(exp(1))") == pytest.approx(1.0)
+        assert value_of(store, "log10(1000)") == pytest.approx(3.0)
+
+    def test_ceil_floor_keep_int_for_ints(self, store):
+        assert value_of(store, "ceil(5)") == 5
+        assert value_of(store, "floor(5)") == 5
+
+    def test_sign_zero(self, store):
+        assert value_of(store, "sign(0)") == 0
+        assert value_of(store, "sign(2.5)") == 1
+
+    def test_abs_float(self, store):
+        assert value_of(store, "abs(-2.5)") == 2.5
+
+    def test_math_type_errors(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "sqrt('four')")
+        with pytest.raises(CypherTypeError):
+            value_of(store, "abs(true)")
+
+    def test_round_negative_precision(self, store):
+        assert value_of(store, "round(1234.5, -2)") == 1200.0
+
+
+class TestConversionEdges:
+    def test_to_boolean_unparseable_is_null(self, store):
+        assert value_of(store, "toBoolean('maybe')") is None
+
+    def test_to_boolean_rejects_numbers(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "toBoolean(1)")
+
+    def test_to_integer_from_float_string(self, store):
+        assert value_of(store, "toInteger('2.9')") == 2
+
+    def test_to_integer_rejects_booleans(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "toInteger(true)")
+
+    def test_to_string_boolean(self, store):
+        assert value_of(store, "toString(true)") == "true"
+        assert value_of(store, "toString(false)") == "false"
+
+
+class TestGraphFunctionErrors:
+    def test_labels_on_non_node(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "labels(42)")
+
+    def test_type_on_non_relationship(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "type('X')")
+
+    def test_id_on_scalar(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "id(1)")
+
+    def test_nodes_on_non_path(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "nodes([1, 2])")
+
+    def test_startnode_on_scalar(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "startNode(7)")
+
+    def test_size_on_number(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "size(42)")
+
+    def test_length_on_number(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "length(42)")
+
+
+class TestCollectionEdges:
+    def test_head_last_tail_null_propagation(self, store):
+        assert value_of(store, "head(null)") is None
+        assert value_of(store, "tail(null)") is None
+
+    def test_tail_of_empty(self, store):
+        assert value_of(store, "tail([])") == []
+
+    def test_keys_of_map(self, store):
+        assert value_of(store, "keys({b: 1, a: 2})") == ["a", "b"]
+
+    def test_properties_of_map_identity(self, store):
+        assert value_of(store, "properties({x: 1})") == {"x": 1}
+
+    def test_subscript_type_error(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "[1, 2]['x']")
+
+    def test_subscript_on_scalar(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "(42)[0]")
+
+    def test_slice_on_non_list(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "'abc'[0..1]")
+
+    def test_in_on_non_list(self, store):
+        with pytest.raises(CypherTypeError):
+            value_of(store, "1 IN 'abc'")
+
+    def test_coalesce_empty_args(self, store):
+        assert value_of(store, "coalesce()") is None
+
+
+class TestAggregateEdges:
+    @pytest.fixture()
+    def numbers(self):
+        store = GraphStore()
+        for value in (2, 4, 4, 4, 5, 5, 7, 9):
+            store.create_node(["N"], {"v": value})
+        return store
+
+    def test_stdevp_vs_stdev(self, numbers):
+        record = execute(
+            numbers, "MATCH (n:N) RETURN stDev(n.v) AS s, stDevP(n.v) AS p"
+        ).single()
+        assert record["p"] < record["s"]  # population variant divides by n
+
+    def test_stdev_single_value_is_zero(self):
+        store = GraphStore()
+        store.create_node(["N"], {"v": 3})
+        assert execute(store, "MATCH (n:N) RETURN stDev(n.v) AS s").single()["s"] == 0.0
+
+    def test_percentile_bounds(self, numbers):
+        record = execute(
+            numbers,
+            "MATCH (n:N) RETURN percentileCont(n.v, 0.0) AS lo, "
+            "percentileCont(n.v, 1.0) AS hi",
+        ).single()
+        assert (record["lo"], record["hi"]) == (2, 9)
+
+    def test_percentile_fraction_out_of_range(self, numbers):
+        with pytest.raises(CypherRuntimeError):
+            execute(numbers, "MATCH (n:N) RETURN percentileCont(n.v, 1.5)")
+
+    def test_percentile_needs_two_args(self, numbers):
+        with pytest.raises(CypherRuntimeError):
+            execute(numbers, "MATCH (n:N) RETURN percentileCont(n.v)")
+
+    def test_sum_rejects_non_numbers(self):
+        store = GraphStore()
+        store.create_node(["N"], {"v": "text"})
+        with pytest.raises(CypherTypeError):
+            execute(store, "MATCH (n:N) RETURN sum(n.v)")
+
+    def test_min_max_on_strings(self):
+        store = GraphStore()
+        for word in ("pear", "apple", "fig"):
+            store.create_node(["N"], {"v": word})
+        record = execute(
+            store, "MATCH (n:N) RETURN min(n.v) AS lo, max(n.v) AS hi"
+        ).single()
+        assert (record["lo"], record["hi"]) == ("apple", "pear")
+
+    def test_collect_skips_nulls(self):
+        store = GraphStore()
+        store.create_node(["N"], {"v": 1})
+        store.create_node(["N"], {})
+        record = execute(store, "MATCH (n:N) RETURN collect(n.v) AS vs").single()
+        assert record["vs"] == [1]

@@ -1,0 +1,130 @@
+"""Tests for the Cypher tokenizer."""
+
+import pytest
+
+from repro.cypher.errors import CypherSyntaxError
+from repro.cypher.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text) if token.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        for text in ("MATCH", "match", "Match"):
+            token = tokenize(text)[0]
+            assert token.kind == "KEYWORD"
+            assert token.value == "MATCH"
+
+    def test_keyword_raw_preserves_spelling(self):
+        token = tokenize("As")[0]
+        assert token.value == "AS"
+        assert token.raw == "As"
+        assert token.text == "As"
+
+    def test_identifiers_keep_case(self):
+        token = tokenize("myVar")[0]
+        assert token.kind == "IDENT"
+        assert token.value == "myVar"
+
+    def test_backtick_identifier(self):
+        token = tokenize("`weird name`")[0]
+        assert token.kind == "IDENT"
+        assert token.value == "weird name"
+
+    def test_unterminated_backtick(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("`oops")
+
+    def test_eof_token_is_last(self):
+        assert tokenize("MATCH")[-1].kind == "EOF"
+
+    def test_is_keyword_helper(self):
+        token = Token("KEYWORD", "MATCH", 0)
+        assert token.is_keyword("MATCH", "RETURN")
+        assert not token.is_keyword("RETURN")
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert (token.kind, token.value) == ("INT", "42")
+
+    def test_float(self):
+        token = tokenize("3.14")[0]
+        assert (token.kind, token.value) == ("FLOAT", "3.14")
+
+    def test_scientific_notation(self):
+        token = tokenize("1e5")[0]
+        assert (token.kind, token.value) == ("FLOAT", "1e5")
+        token = tokenize("2.5e-3")[0]
+        assert (token.kind, token.value) == ("FLOAT", "2.5e-3")
+
+    def test_range_dots_not_consumed_as_float(self):
+        assert kinds("1..3")[:3] == ["INT", "DOTDOT", "INT"]
+
+    def test_property_after_int_variable(self):
+        # `a.1` is not valid anyway, but `1.prop` must not lex as float.
+        assert kinds("1.prop")[:3] == ["INT", "DOT", "IDENT"]
+
+
+class TestStrings:
+    def test_single_and_double_quotes(self):
+        assert tokenize("'abc'")[0].value == "abc"
+        assert tokenize('"abc"')[0].value == "abc"
+
+    def test_escapes(self):
+        assert tokenize(r"'a\nb'")[0].value == "a\nb"
+        assert tokenize(r"'it\'s'")[0].value == "it's"
+        assert tokenize(r"'back\\slash'")[0].value == "back\\slash"
+
+    def test_unicode_escape(self):
+        assert tokenize(r"'A'")[0].value == "A"
+
+    def test_unterminated_string(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'oops")
+
+    def test_dangling_escape(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'oops\\")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("MATCH // everything after is gone\nRETURN") == ["MATCH", "RETURN"]
+
+    def test_block_comment(self):
+        assert values("MATCH /* hi */ RETURN") == ["MATCH", "RETURN"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("MATCH /* oops")
+
+
+class TestPunctuation:
+    def test_two_char_operators(self):
+        assert kinds("<> <= >= =~ -> <- ..")[:7] == [
+            "NEQ", "LTE", "GTE", "REGEQ", "ARROW_RIGHT", "ARROW_LEFT", "DOTDOT",
+        ]
+
+    def test_pattern_tokens(self):
+        assert kinds("(a)-[:X]->(b)")[:10] == [
+            "LPAREN", "IDENT", "RPAREN", "MINUS", "LBRACKET", "COLON",
+            "IDENT", "RBRACKET", "ARROW_RIGHT", "LPAREN",
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(CypherSyntaxError) as exc_info:
+            tokenize("MATCH @")
+        assert "line 1" in str(exc_info.value)
+
+    def test_error_carries_position(self):
+        with pytest.raises(CypherSyntaxError) as exc_info:
+            tokenize("a\nb @")
+        assert "line 2" in str(exc_info.value)

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on Cypher value semantics and queries."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import execute
+from repro.cypher.values import cypher_compare, cypher_equals, sort_key
+from repro.graph import GraphStore
+
+# Cypher scalar values (no NaN: Cypher equality on NaN is its own saga).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+values = st.recursive(scalars, lambda inner: st.lists(inner, max_size=4), max_leaves=8)
+
+
+class TestValueSemantics:
+    @given(values)
+    def test_equality_reflexive_or_null(self, value):
+        outcome = cypher_equals(value, value)
+        assert outcome is True or (outcome is None and _contains_null(value))
+
+    @given(values, values)
+    def test_equality_symmetric(self, left, right):
+        assert cypher_equals(left, right) == cypher_equals(right, left)
+
+    @given(values, values)
+    def test_compare_antisymmetric(self, left, right):
+        forward = cypher_compare(left, right)
+        backward = cypher_compare(right, left)
+        if forward is None:
+            assert backward is None
+        else:
+            assert backward == -forward
+
+    @given(values)
+    def test_null_comparisons_are_unknown(self, value):
+        assert cypher_equals(value, None) is None
+        assert cypher_compare(value, None) is None
+
+    @given(st.lists(values, max_size=10))
+    def test_sort_key_is_total_order(self, items):
+        keys = [sort_key(item) for item in items]
+        keys.sort()  # must not raise
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=10))
+    def test_numbers_sort_numerically(self, numbers):
+        ordered = sorted(numbers, key=sort_key)
+        assert ordered == sorted(numbers)
+
+
+def _contains_null(value):
+    if value is None:
+        return True
+    if isinstance(value, list):
+        return any(_contains_null(item) for item in value)
+    return False
+
+
+def _graph_of(values_list):
+    store = GraphStore()
+    for v in values_list:
+        store.create_node(["N"], {"v": v})
+    return store
+
+
+class TestParserRobustness:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=80))
+    def test_arbitrary_text_never_crashes(self, text):
+        """The parser either succeeds or raises CypherSyntaxError — nothing else."""
+        from repro.cypher import CypherSyntaxError, parse
+
+        try:
+            parse(text)
+        except CypherSyntaxError:
+            pass
+        except RecursionError:
+            pass  # pathologic nesting is acceptable to refuse
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.recursive(
+            st.integers(min_value=-50, max_value=50).map(str),
+            lambda inner: st.tuples(
+                inner, st.sampled_from(["+", "-", "*"]), inner
+            ).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+            max_leaves=8,
+        )
+    )
+    def test_arithmetic_agrees_with_python(self, expression):
+        """Random +,-,* expression trees evaluate exactly like Python."""
+        store = GraphStore()
+        ours = execute(store, f"RETURN {expression} AS v").single()["v"]
+        assert ours == eval(expression)  # noqa: S307 - generated arithmetic only
+
+
+class TestQueryInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=25))
+    def test_count_star_matches_length(self, numbers):
+        store = _graph_of(numbers)
+        result = execute(store, "MATCH (n:N) RETURN count(*) AS c")
+        assert result.single()["c"] == len(numbers)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=25))
+    def test_order_by_yields_sorted_values(self, numbers):
+        store = _graph_of(numbers)
+        result = execute(store, "MATCH (n:N) RETURN n.v AS v ORDER BY v")
+        assert result.values("v") == sorted(numbers)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-100, max_value=100), max_size=25),
+        st.integers(min_value=0, max_value=30),
+    )
+    def test_limit_bounds_row_count(self, numbers, limit):
+        store = _graph_of(numbers)
+        result = execute(store, f"MATCH (n:N) RETURN n.v LIMIT {limit}")
+        assert len(result) == min(limit, len(numbers))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=25))
+    def test_sum_and_avg_agree_with_python(self, numbers):
+        store = _graph_of(numbers)
+        record = execute(store, "MATCH (n:N) RETURN sum(n.v) AS s, avg(n.v) AS a").single()
+        assert record["s"] == sum(numbers)
+        assert abs(record["a"] - sum(numbers) / len(numbers)) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=25))
+    def test_distinct_matches_set_semantics(self, numbers):
+        store = _graph_of(numbers)
+        result = execute(store, "MATCH (n:N) RETURN DISTINCT n.v AS v ORDER BY v")
+        assert result.values("v") == sorted(set(numbers))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-100, max_value=100), max_size=20),
+        st.integers(min_value=-100, max_value=100),
+    )
+    def test_where_filter_agrees_with_python(self, numbers, threshold):
+        store = _graph_of(numbers)
+        result = execute(
+            store, "MATCH (n:N) WHERE n.v > $t RETURN n.v AS v ORDER BY v", t=threshold
+        )
+        assert result.values("v") == sorted(v for v in numbers if v > threshold)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.text(max_size=6), max_size=15))
+    def test_collect_preserves_multiplicity(self, words):
+        store = _graph_of(words)
+        record = execute(store, "MATCH (n:N) RETURN collect(n.v) AS vs").single()
+        assert sorted(record["vs"]) == sorted(words)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10), max_size=12))
+    def test_unwind_roundtrip(self, numbers):
+        store = GraphStore()
+        result = execute(store, "UNWIND $xs AS x RETURN x", xs=numbers)
+        assert result.values("x") == numbers
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=12))
+    def test_var_length_on_chain_counts_paths(self, length):
+        store = GraphStore()
+        nodes = [store.create_node(["N"], {"i": i}) for i in range(length)]
+        for left, right in zip(nodes, nodes[1:]):
+            store.create_relationship(left.node_id, "X", right.node_id)
+        result = execute(store, "MATCH (a {i: 0})-[:X*]->(b) RETURN count(*) AS c")
+        assert result.single()["c"] == length - 1

@@ -1,0 +1,185 @@
+"""Write-clause semantics: CREATE, MERGE, SET, DELETE, REMOVE + counters."""
+
+import pytest
+
+from repro.cypher import CypherRuntimeError, CypherSyntaxError, CypherTypeError, execute
+from repro.graph import GraphStore
+
+
+@pytest.fixture()
+def store():
+    return GraphStore()
+
+
+class TestCreate:
+    def test_create_single_node(self, store):
+        result = execute(store, "CREATE (a:AS {asn: 1}) RETURN a.asn")
+        assert result.single()[0] == 1
+        assert result.nodes_created == 1
+        assert store.node_count == 1
+
+    def test_create_counts_properties(self, store):
+        result = execute(store, "CREATE (a:AS {asn: 1, name: 'x'})")
+        assert result.properties_set == 2
+
+    def test_create_relationship_pattern(self, store):
+        result = execute(
+            store, "CREATE (a:AS {asn: 1})-[:PEERS_WITH {rel: 0}]->(b:AS {asn: 2})"
+        )
+        assert result.nodes_created == 2
+        assert result.relationships_created == 1
+        rel = next(store.all_relationships())
+        assert rel["rel"] == 0
+
+    def test_create_reverse_direction(self, store):
+        execute(store, "CREATE (a:AS {asn: 1})<-[:DEPENDS_ON]-(b:AS {asn: 2})")
+        rel = next(store.all_relationships())
+        assert store.node(rel.start_id)["asn"] == 2
+
+    def test_create_reuses_bound_variable(self, store):
+        execute(
+            store,
+            "CREATE (a:AS {asn: 1}) CREATE (a)-[:ORIGINATE]->(:Prefix {prefix: 'x'})",
+        )
+        assert store.node_count == 2
+        assert store.relationship_count == 1
+
+    def test_create_from_match(self, store):
+        execute(store, "CREATE (:AS {asn: 1})")
+        execute(store, "CREATE (:AS {asn: 2})")
+        execute(
+            store,
+            "MATCH (a:AS {asn: 1}) MATCH (b:AS {asn: 2}) CREATE (a)-[:PEERS_WITH]->(b)",
+        )
+        assert store.relationship_count == 1
+
+    def test_create_undirected_rejected(self, store):
+        with pytest.raises(CypherSyntaxError):
+            execute(store, "CREATE (a:AS {asn: 1})-[:X]-(b:AS {asn: 2})")
+
+    def test_create_needs_label(self, store):
+        with pytest.raises(CypherRuntimeError):
+            execute(store, "CREATE (a {x: 1})")
+
+    def test_create_with_parameter(self, store):
+        execute(store, "CREATE (:AS {asn: $asn})", asn=7)
+        assert next(store.nodes_by_label("AS"))["asn"] == 7
+
+
+class TestMerge:
+    def test_merge_creates_when_absent(self, store):
+        result = execute(store, "MERGE (a:AS {asn: 1}) RETURN a.asn")
+        assert result.nodes_created == 1
+
+    def test_merge_matches_when_present(self, store):
+        execute(store, "CREATE (:AS {asn: 1})")
+        result = execute(store, "MERGE (a:AS {asn: 1}) RETURN a.asn")
+        assert result.nodes_created == 0
+        assert store.node_count == 1
+
+    def test_merge_on_create_set(self, store):
+        execute(store, "MERGE (a:AS {asn: 1}) ON CREATE SET a.fresh = true")
+        assert next(store.nodes_by_label("AS"))["fresh"] is True
+
+    def test_merge_on_match_set(self, store):
+        execute(store, "CREATE (:AS {asn: 1})")
+        execute(store, "MERGE (a:AS {asn: 1}) ON MATCH SET a.seen = true")
+        assert next(store.nodes_by_label("AS"))["seen"] is True
+
+    def test_merge_relationship(self, store):
+        execute(store, "CREATE (:AS {asn: 1}) CREATE (:AS {asn: 2})")
+        query = (
+            "MATCH (a:AS {asn: 1}) MATCH (b:AS {asn: 2}) "
+            "MERGE (a)-[:PEERS_WITH]->(b)"
+        )
+        execute(store, query)
+        execute(store, query)  # idempotent
+        assert store.relationship_count == 1
+
+
+class TestSet:
+    def test_set_property(self, store):
+        execute(store, "CREATE (:AS {asn: 1})")
+        result = execute(store, "MATCH (a:AS) SET a.name = 'X'")
+        assert result.properties_set == 1
+        assert next(store.nodes_by_label("AS"))["name"] == "X"
+
+    def test_set_computed_value(self, store):
+        execute(store, "CREATE (:AS {asn: 1})")
+        execute(store, "MATCH (a:AS) SET a.double = a.asn * 2")
+        assert next(store.nodes_by_label("AS"))["double"] == 2
+
+    def test_set_merge_map(self, store):
+        execute(store, "CREATE (:AS {asn: 1})")
+        execute(store, "MATCH (a:AS) SET a += {x: 1, y: 2}")
+        node = next(store.nodes_by_label("AS"))
+        assert (node["asn"], node["x"], node["y"]) == (1, 1, 2)
+
+    def test_set_replace_map(self, store):
+        execute(store, "CREATE (:AS {asn: 1, old: true})")
+        execute(store, "MATCH (a:AS) SET a = {fresh: true}")
+        node = next(store.nodes_by_label("AS"))
+        assert node.properties == {"fresh": True}
+
+    def test_set_on_relationship(self, store):
+        execute(store, "CREATE (:AS {asn: 1})-[:X]->(:AS {asn: 2})")
+        execute(store, "MATCH (:AS)-[r:X]->(:AS) SET r.weight = 5")
+        assert next(store.all_relationships())["weight"] == 5
+
+    def test_set_on_null_target_is_noop(self, store):
+        execute(store, "CREATE (:AS {asn: 1})")
+        execute(
+            store,
+            "MATCH (a:AS) OPTIONAL MATCH (a)-[:X]->(b) SET b.x = 1",
+        )  # b is null: no error
+
+    def test_set_on_scalar_rejected(self, store):
+        with pytest.raises(CypherTypeError):
+            execute(store, "WITH 1 AS a SET a.x = 2")
+
+
+class TestDeleteRemove:
+    def test_delete_relationship(self, store):
+        execute(store, "CREATE (:AS {asn: 1})-[:X]->(:AS {asn: 2})")
+        result = execute(store, "MATCH (:AS)-[r:X]->(:AS) DELETE r")
+        assert result.relationships_deleted == 1
+        assert store.relationship_count == 0
+
+    def test_delete_connected_node_without_detach_fails(self, store):
+        execute(store, "CREATE (:AS {asn: 1})-[:X]->(:AS {asn: 2})")
+        from repro.graph import GraphError
+
+        with pytest.raises(GraphError):
+            execute(store, "MATCH (a:AS {asn: 1}) DELETE a")
+
+    def test_detach_delete(self, store):
+        execute(store, "CREATE (:AS {asn: 1})-[:X]->(:AS {asn: 2})")
+        result = execute(store, "MATCH (a:AS {asn: 1}) DETACH DELETE a")
+        assert result.nodes_deleted == 1
+        assert result.relationships_deleted == 1
+        assert store.node_count == 1
+
+    def test_delete_same_node_twice_in_rows(self, store):
+        execute(store, "CREATE (:AS {asn: 1})-[:X]->(:AS {asn: 2})")
+        execute(store, "MATCH (a:AS {asn: 1})-[:X]->(:AS) DETACH DELETE a")
+        assert store.node_count == 1
+
+    def test_delete_null_is_noop(self, store):
+        execute(store, "CREATE (:AS {asn: 1})")
+        execute(store, "MATCH (a:AS) OPTIONAL MATCH (a)-[:X]->(b) DELETE b")
+        assert store.node_count == 1
+
+    def test_delete_scalar_rejected(self, store):
+        with pytest.raises(CypherTypeError):
+            execute(store, "WITH 1 AS x DELETE x")
+
+    def test_remove_property(self, store):
+        execute(store, "CREATE (:AS {asn: 1, junk: true})")
+        execute(store, "MATCH (a:AS) REMOVE a.junk")
+        assert "junk" not in next(store.nodes_by_label("AS"))
+
+    def test_write_query_returns_empty_resultset_with_counters(self, store):
+        result = execute(store, "CREATE (:AS {asn: 1})")
+        assert len(result) == 0
+        assert result.keys == []
+        assert result.nodes_created == 1

@@ -1,0 +1,68 @@
+"""Golden determinism gate.
+
+The whole reproduction pipeline — graph generation, question sampling,
+model errors, verbalizer phrasing, judging — must be bit-stable for fixed
+seeds.  This test runs a small end-to-end evaluation and compares a digest
+of every per-question score against a recorded golden value.  If it fails,
+either a change intentionally altered behaviour (regenerate the golden
+below and say so in the commit) or determinism broke (fix that).
+
+Regenerate with::
+
+    python -m pytest tests/test_determinism_golden.py -q --golden-update
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import ChatIYP, ChatIYPConfig
+from repro.eval import EvaluationHarness, annotate_report, build_cyphereval
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "small_eval_digest.json"
+
+
+def _run_digest() -> dict:
+    bot = ChatIYP(config=ChatIYPConfig(dataset_size="small"))
+    questions = build_cyphereval(bot.dataset, seed=7, per_template=2)
+    report = EvaluationHarness(bot, questions).run()
+    annotate_report(report)
+    payload = []
+    for evaluation in report.evaluations:
+        payload.append(
+            {
+                "qid": evaluation.question.qid,
+                "scores": evaluation.scores,
+                "human": evaluation.human_score,
+                "source": evaluation.retrieval_source,
+            }
+        )
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return {
+        "questions": len(payload),
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "mean_geval": round(report.mean("geval"), 6),
+    }
+
+
+class TestGoldenDeterminism:
+    def test_digest_matches_golden(self, request):
+        digest = _run_digest()
+        if request.config.getoption("--golden-update", default=False):
+            GOLDEN_PATH.parent.mkdir(exist_ok=True)
+            GOLDEN_PATH.write_text(json.dumps(digest, indent=2) + "\n")
+            pytest.skip("golden regenerated")
+        if not GOLDEN_PATH.exists():
+            GOLDEN_PATH.parent.mkdir(exist_ok=True)
+            GOLDEN_PATH.write_text(json.dumps(digest, indent=2) + "\n")
+            pytest.skip("golden initialised on first run")
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert digest == golden, (
+            "end-to-end digest drifted — if the change is intentional, "
+            "regenerate with --golden-update"
+        )
+
+    def test_back_to_back_runs_identical(self):
+        assert _run_digest() == _run_digest()

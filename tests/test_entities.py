@@ -1,0 +1,103 @@
+"""Tests for NL entity extraction."""
+
+import pytest
+
+from repro.nlp import EntityExtractor, Gazetteer
+
+
+@pytest.fixture()
+def extractor(small_dataset):
+    return EntityExtractor(Gazetteer.from_dataset(small_dataset))
+
+
+class TestAsnExtraction:
+    def test_plain_asn(self, extractor):
+        assert extractor.extract("Tell me about AS2497").asns == [2497]
+
+    def test_asn_with_space(self, extractor):
+        assert extractor.extract("Tell me about AS 2497").asns == [2497]
+
+    def test_asn_keyword(self, extractor):
+        assert extractor.extract("the network with ASN 15169").asns == [15169]
+
+    def test_case_insensitive(self, extractor):
+        assert extractor.extract("as2497 please").asns == [2497]
+
+    def test_multiple_asns_deduped(self, extractor):
+        entities = extractor.extract("Do AS1 and AS2 peer with AS1?")
+        assert entities.asns == [1, 2]
+
+    def test_asn_digits_not_counted_as_number(self, extractor):
+        entities = extractor.extract("How many prefixes does AS2497 have?")
+        assert 2497 not in entities.numbers
+
+
+class TestNetworkEntities:
+    def test_prefix(self, extractor):
+        entities = extractor.extract("Who originates 192.0.2.0/24?")
+        assert entities.prefixes == ["192.0.2.0/24"]
+        assert entities.ips == []
+
+    def test_ip(self, extractor):
+        assert extractor.extract("lookup 198.51.100.7 now").ips == ["198.51.100.7"]
+
+    def test_domain(self, extractor):
+        assert extractor.extract("What is the rank of example.com?").domains == ["example.com"]
+
+    def test_domain_lowercased(self, extractor):
+        assert extractor.extract("Visit Example.COM today").domains == ["example.com"]
+
+
+class TestGazetteerEntities:
+    def test_country_by_name(self, extractor):
+        assert extractor.extract("networks in Japan").countries == ["JP"]
+
+    def test_country_possessive(self, extractor):
+        assert extractor.extract("Japan's population").countries == ["JP"]
+
+    def test_country_multiword(self, extractor):
+        assert extractor.extract("ASes in United States").countries == ["US"]
+
+    def test_country_code_uppercase_only(self, extractor):
+        assert extractor.extract("probes in JP").countries == ["JP"]
+        # "in" and "us" as common words must not trigger country codes
+        assert extractor.extract("give us the data in time").countries == []
+
+    def test_ixp(self, extractor):
+        entities = extractor.extract("How many members does AMS-IX have?")
+        assert entities.ixps == ["AMS-IX"]
+
+    def test_longest_ixp_name_wins(self, extractor):
+        entities = extractor.extract("members at DE-CIX Frankfurt please")
+        assert entities.ixps[0] == "DE-CIX Frankfurt"
+
+    def test_tag(self, extractor):
+        entities = extractor.extract("Which ASes are tagged Transit Provider?")
+        assert "Transit Provider" in entities.tags
+
+    def test_ranking(self, extractor):
+        entities = extractor.extract("top sites in the Tranco Top 1M ranking")
+        assert "Tranco Top 1M" in entities.rankings
+
+
+class TestNumbersAndEmpty:
+    def test_bare_numbers(self, extractor):
+        entities = extractor.extract("show the top 5 domains")
+        assert 5 in entities.numbers
+
+    def test_float_numbers(self, extractor):
+        entities = extractor.extract("hegemony above 0.5 please")
+        assert 0.5 in entities.numbers
+
+    def test_is_empty(self, extractor):
+        assert extractor.extract("hello there general conversation").is_empty()
+        assert not extractor.extract("hello AS2497").is_empty()
+
+    def test_numbers_do_not_make_nonempty(self, extractor):
+        assert extractor.extract("give me 5 of them").is_empty()
+
+    def test_default_gazetteer_is_empty_but_works(self):
+        extractor = EntityExtractor()
+        entities = extractor.extract("AS2497 in Japan")
+        assert entities.asns == [2497]
+        assert entities.countries == []

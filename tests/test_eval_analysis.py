@@ -1,0 +1,69 @@
+"""Tests for the failure-mode analysis."""
+
+import pytest
+
+from repro.eval import (
+    EvaluationHarness,
+    build_cyphereval,
+    classify_failure,
+    failure_breakdown,
+    improvement_headroom,
+    render_failure_table,
+)
+
+
+@pytest.fixture(scope="module")
+def report(chatiyp_small):
+    questions = build_cyphereval(chatiyp_small.dataset, seed=7, per_template=3)
+    return EvaluationHarness(chatiyp_small, questions).run()
+
+
+class TestClassification:
+    def test_every_evaluation_classified(self, report):
+        for evaluation in report.evaluations:
+            name = classify_failure(evaluation)
+            assert name.startswith(("clean", "perturbed", "translation", "sparse"))
+
+    def test_clean_translations_exist(self, report):
+        names = {classify_failure(e) for e in report.evaluations}
+        assert "clean_translation" in names
+
+    def test_perturbations_detected(self, report):
+        names = {classify_failure(e) for e in report.evaluations}
+        assert any(name.startswith("perturbed:") for name in names)
+
+
+class TestBreakdown:
+    def test_counts_sum_to_total(self, report):
+        rows = failure_breakdown(report)
+        assert sum(row.count for row in rows) == len(report)
+
+    def test_shares_sum_to_one(self, report):
+        rows = failure_breakdown(report)
+        assert sum(row.share for row in rows) == pytest.approx(1.0)
+
+    def test_clean_translations_score_best(self, report):
+        rows = {row.name: row for row in failure_breakdown(report)}
+        clean = rows["clean_translation"]
+        for name, row in rows.items():
+            if name.startswith("perturbed:") and row.count >= 3:
+                assert clean.mean_geval > row.mean_geval, name
+
+    def test_render_table(self, report):
+        text = render_failure_table(report)
+        assert "clean_translation" in text
+        assert "per difficulty" in text
+
+    def test_headroom_bounded(self, report):
+        baseline = report.mean("geval")
+        headroom = improvement_headroom(report)
+        assert headroom
+        for projected in headroom.values():
+            assert baseline <= projected <= 1.0
+
+    def test_headroom_orders_priorities(self, report):
+        # The largest headroom should belong to a class with real mass.
+        rows = {row.name: row for row in failure_breakdown(report)}
+        headroom = improvement_headroom(report)
+        best = max(headroom, key=headroom.get)
+        assert rows[best].count >= 2

@@ -1,0 +1,43 @@
+"""Tests for the evaluation CLI (`python -m repro.eval`)."""
+
+import pytest
+
+from repro.eval.cli import main
+
+
+@pytest.mark.slow
+class TestEvalCli:
+    def test_end_to_end(self, capsys, tmp_path):
+        csv_path = tmp_path / "scores.csv"
+        exit_code = main(
+            [
+                "--size", "small",
+                "--per-template", "1",
+                "--no-histograms",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 2a" in output
+        assert "Figure 2b" in output
+        assert "Finding 1" in output
+        assert "Finding 2" in output
+        assert "Failure-mode analysis" in output
+        assert csv_path.exists()
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("qid,")
+        assert len(lines) > 10
+
+    def test_limit_and_decompose_flags(self, capsys):
+        exit_code = main(
+            ["--size", "small", "--per-template", "1", "--limit", "5",
+             "--no-histograms", "--decompose"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 2a" in output
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--size", "galactic"])

@@ -1,0 +1,226 @@
+"""Tests for the evaluation harness, human simulation, stats and reports."""
+
+import pytest
+
+from repro.eval import (
+    METRIC_KEYS,
+    EvaluationHarness,
+    EvaluationReport,
+    HumanPanel,
+    annotate_report,
+    ascii_histogram,
+    bimodality_coefficient,
+    build_cyphereval,
+    figure_2a_table,
+    figure_2b_table,
+    finding1_table,
+    finding2_table,
+    histogram,
+    pearson,
+    report_to_csv,
+    spearman,
+    summary,
+)
+
+
+@pytest.fixture(scope="module")
+def harness(chatiyp_small):
+    questions = build_cyphereval(chatiyp_small.dataset, seed=7, per_template=2)
+    return EvaluationHarness(chatiyp_small, questions)
+
+
+@pytest.fixture(scope="module")
+def report(harness):
+    report = harness.run()
+    annotate_report(report)
+    return report
+
+
+class TestHarness:
+    def test_all_questions_evaluated(self, harness, report):
+        assert len(report) == len(harness.questions)
+
+    def test_all_metrics_scored(self, report):
+        for evaluation in report.evaluations:
+            assert set(evaluation.scores) == set(METRIC_KEYS)
+            for value in evaluation.scores.values():
+                assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_geval_breakdown_recorded(self, report):
+        evaluation = report.evaluations[0]
+        assert {"factuality", "relevance", "informativeness", "rating"} <= set(
+            evaluation.geval_breakdown
+        )
+
+    def test_provenance_recorded(self, report):
+        sources = {e.retrieval_source for e in report.evaluations}
+        assert "text2cypher" in sources
+
+    def test_limit(self, harness):
+        assert len(harness.run(limit=5)) == 5
+
+    def test_subset(self, harness):
+        subset = harness.questions[:3]
+        assert len(harness.run(subset=subset)) == 3
+
+    def test_filter_by_difficulty(self, report):
+        easy = report.filter(difficulty="easy")
+        assert all(e.difficulty == "easy" for e in easy.evaluations)
+        assert len(easy) > 0
+
+    def test_filter_by_domain(self, report):
+        technical = report.filter(domain="technical")
+        assert all(e.domain == "technical" for e in technical.evaluations)
+
+    def test_fraction_above(self, report):
+        assert 0.0 <= report.fraction_above("geval", 0.75) <= 1.0
+
+    def test_mean_empty_report(self):
+        assert EvaluationReport([]).mean("geval") == 0.0
+
+
+class TestHumanPanel:
+    def test_annotation_fills_scores(self, report):
+        assert len(report.human_scores()) == len(report)
+        assert all(0.0 <= score <= 1.0 for score in report.human_scores())
+
+    def test_deterministic(self, report):
+        panel = HumanPanel()
+        first = [panel.score(e) for e in report.evaluations[:10]]
+        second = [panel.score(e) for e in report.evaluations[:10]]
+        assert first == second
+
+    def test_correct_beats_wrong(self, report):
+        panel = HumanPanel(noise=0.0)
+        # Pick one evaluation, fabricate a perfect and a broken answer.
+        evaluation = next(e for e in report.evaluations if not e.gold_empty)
+        import copy
+
+        good = copy.copy(evaluation)
+        good.answer = evaluation.reference
+        bad = copy.copy(evaluation)
+        bad.answer = "The answer is 123456789 according to Mars Networks."
+        assert panel.score(good) > panel.score(bad)
+
+    def test_geval_correlates_best(self, report):
+        humans = report.human_scores()
+        geval_r = pearson(report.scores("geval"), humans)
+        for metric in ("bleu", "rouge1", "rouge2", "rougeL", "bertscore"):
+            assert geval_r > pearson(report.scores(metric), humans)
+
+
+class TestStats:
+    def test_pearson_perfect(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_pearson_degenerate(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+        assert pearson([1], [2]) == 0.0
+
+    def test_pearson_alignment_required(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_spearman_monotone(self):
+        assert spearman([1, 2, 3], [10, 100, 1000]) == pytest.approx(1.0)
+
+    def test_spearman_handles_ties(self):
+        value = spearman([1, 1, 2], [1, 2, 3])
+        assert -1.0 <= value <= 1.0
+
+    def test_summary_known_values(self):
+        stats = summary([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == 2.5
+        assert stats.median == 2.5
+        assert stats.count == 4
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_summary_empty(self):
+        assert summary([]).count == 0
+
+    def test_histogram(self):
+        counts = histogram([0.05, 0.15, 0.95, 1.0], bins=10)
+        assert counts[0] == 1
+        assert counts[1] == 1
+        assert counts[9] == 2
+        assert sum(counts) == 4
+
+    def test_histogram_bad_args(self):
+        with pytest.raises(ValueError):
+            histogram([0.5], bins=0)
+        with pytest.raises(ValueError):
+            histogram([0.5], bins=2, lo=1.0, hi=0.0)
+
+    def test_bimodality_detects_bimodal(self):
+        bimodal = [0.02] * 50 + [0.98] * 50
+        unimodal = [0.5 + 0.01 * (i % 10) for i in range(100)]
+        assert bimodality_coefficient(bimodal) > 0.555
+        assert bimodality_coefficient(unimodal) < bimodality_coefficient(bimodal)
+
+    def test_bimodality_degenerate(self):
+        assert bimodality_coefficient([1.0, 1.0, 1.0, 1.0]) == 0.0
+        assert bimodality_coefficient([1.0]) == 0.0
+
+
+class TestReports:
+    def test_figure_2a_lists_all_metrics(self, report):
+        table = figure_2a_table(report, with_histograms=False)
+        for metric in METRIC_KEYS:
+            assert metric in table
+
+    def test_figure_2a_histograms_render(self, report):
+        table = figure_2a_table(report, with_histograms=True)
+        assert "distribution" in table
+        assert "█" in table or "0" in table
+
+    def test_figure_2b_rows(self, report):
+        table = figure_2b_table(report)
+        for difficulty in ("easy", "medium", "hard"):
+            assert difficulty in table
+        for domain in ("general", "technical"):
+            assert domain in table
+
+    def test_finding1_requires_annotation(self, harness):
+        unannotated = harness.run(limit=3)
+        with pytest.raises(ValueError):
+            finding1_table(unannotated)
+
+    def test_finding1_renders(self, report):
+        table = finding1_table(report)
+        assert "pearson" in table
+        assert "geval" in table
+
+    def test_finding2_renders(self, report):
+        table = finding2_table(report)
+        assert "gold hops" in table
+        assert "Domain gap" in table
+
+    def test_csv_export(self, report):
+        csv_text = report_to_csv(report)
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == len(report) + 1
+        assert lines[0].startswith("qid,")
+
+    def test_ascii_histogram_shape(self):
+        rendered = ascii_histogram([0.1, 0.9, 0.9], bins=5)
+        assert len(rendered.splitlines()) == 5
+
+
+class TestTemplateTable:
+    def test_one_row_per_template(self, report):
+        from repro.eval import template_table
+
+        table = template_table(report)
+        templates = {e.question.template for e in report.evaluations}
+        for template in templates:
+            assert template in table
+
+    def test_worst_first_ordering(self, report):
+        from repro.eval import template_table
+
+        table = template_table(report, worst_first=True)
+        lines = [l for l in table.splitlines()[3:] if l.strip()]
+        means = [float(line.split("|")[4]) for line in lines]
+        assert means == sorted(means)

@@ -1,0 +1,193 @@
+"""Tests for BLEU, ROUGE, BERTScore and G-Eval."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    BertScorer,
+    GEvalMetric,
+    corpus_bleu,
+    rouge_all,
+    rouge_l,
+    rouge_n,
+    sentence_bleu,
+)
+
+texts = st.lists(
+    st.sampled_from("the a cat dog sat mat on ran big 42 5.3 as2497".split()),
+    min_size=1, max_size=15,
+).map(" ".join)
+
+
+class TestBleu:
+    def test_identity_is_one(self):
+        assert sentence_bleu("the cat sat on the mat", "the cat sat on the mat") == pytest.approx(1.0)
+
+    def test_disjoint_is_zero_without_smoothing(self):
+        assert corpus_bleu(["aa bb cc dd"], ["xx yy zz ww"]) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        score = sentence_bleu("the cat sat on the mat", "the dog sat on the mat")
+        assert 0.0 < score < 1.0
+
+    def test_brevity_penalty(self):
+        short = sentence_bleu("the cat", "the cat sat on the mat today")
+        full = sentence_bleu("the cat sat on the mat today", "the cat sat on the mat today")
+        assert short < full
+
+    def test_multiple_references_max_matching(self):
+        score = sentence_bleu(
+            "the cat sat down", ["a dog ran off", "the cat sat down"]
+        )
+        assert score == pytest.approx(1.0)
+
+    def test_empty_candidate(self):
+        assert sentence_bleu("", "anything here") == 0.0
+
+    def test_candidate_shorter_than_ngram_order(self):
+        assert sentence_bleu("one two", "one two") == 0.0  # no 3/4-grams at all
+
+    def test_smoothing_rescues_rephrasings(self):
+        # Same facts, different wording: BLEU is harsh but non-zero.
+        score = sentence_bleu(
+            "The percent is 5.3.",
+            "According to the IYP graph, the share is 5.3%.",
+        )
+        assert 0.0 < score < 0.4
+
+    def test_corpus_bleu_requires_alignment(self):
+        with pytest.raises(ValueError):
+            corpus_bleu(["a"], ["a", "b"])
+
+    @given(texts)
+    @settings(max_examples=30, deadline=None)
+    def test_identity_property(self, text):
+        if len(text.split()) >= 4:
+            assert sentence_bleu(text, text) == pytest.approx(1.0)
+
+    @given(texts, texts)
+    @settings(max_examples=30, deadline=None)
+    def test_range_property(self, left, right):
+        assert 0.0 <= sentence_bleu(left, right) <= 1.0
+
+
+class TestRouge:
+    def test_identity(self):
+        score = rouge_n("the cat sat", "the cat sat", 1)
+        assert score.f1 == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert rouge_n("aa bb", "cc dd", 1).f1 == 0.0
+
+    def test_precision_recall_distinction(self):
+        # candidate ⊂ reference: precision 1, recall < 1
+        score = rouge_n("the cat", "the cat sat on the mat", 1)
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall < 1.0
+
+    def test_rouge2(self):
+        score = rouge_n("the cat sat", "the cat ran", 2)
+        assert score.f1 == pytest.approx(0.5)
+
+    def test_rouge_l_subsequence(self):
+        # LCS of "a b c d" and "a x c y" is "a c" (2 of 4).
+        score = rouge_l("a b c d", "a x c y")
+        assert score.f1 == pytest.approx(0.5)
+
+    def test_rouge_l_order_sensitivity(self):
+        in_order = rouge_l("one two three", "one two three")
+        shuffled = rouge_l("three two one", "one two three")
+        assert shuffled.f1 < in_order.f1
+
+    def test_empty_strings(self):
+        assert rouge_n("", "", 1).f1 == 0.0
+        assert rouge_l("", "x").f1 == 0.0
+
+    def test_rouge_all_keys(self):
+        scores = rouge_all("a b", "a b")
+        assert set(scores) == {"rouge1", "rouge2", "rougeL"}
+
+    @given(texts, texts)
+    @settings(max_examples=30, deadline=None)
+    def test_f1_bounded(self, left, right):
+        for score in rouge_all(left, right).values():
+            assert 0.0 <= score.f1 <= 1.0
+
+
+class TestBertScore:
+    @pytest.fixture(scope="class")
+    def scorer(self):
+        return BertScorer()
+
+    def test_identity(self, scorer):
+        assert scorer.score("the cat sat", "the cat sat").f1 == pytest.approx(1.0)
+
+    def test_empty_both(self, scorer):
+        assert scorer.score("", "").f1 == 1.0
+
+    def test_empty_one_side(self, scorer):
+        assert scorer.score("", "x").f1 == 0.0
+
+    def test_paraphrase_scores_higher_than_unrelated(self, scorer):
+        reference = "The organization managing AS2497 is IIJ."
+        paraphrase = "AS2497 is managed by the organization IIJ."
+        unrelated = "Bake the cake at 180 degrees for an hour."
+        assert scorer.score(paraphrase, reference).f1 > scorer.score(unrelated, reference).f1
+
+    def test_ceiling_effect(self, scorer):
+        # Even unrelated fluent sentences score fairly high (anisotropy).
+        score = scorer.score(
+            "The rank of the domain is 120.",
+            "The country is Germany.",
+        )
+        assert score.f1 > 0.5
+
+    def test_rescaling_spreads_scores(self):
+        raw = BertScorer(rescale_with_baseline=False)
+        rescaled = BertScorer(rescale_with_baseline=True, baseline=0.6)
+        candidate = "The rank is 120."
+        reference = "The country is Germany."
+        assert rescaled.score(candidate, reference).f1 < raw.score(candidate, reference).f1
+
+    def test_measure_baseline(self, scorer):
+        texts_list = ["the cat sat", "a dog ran", "rain in spain", "routing is fun"]
+        baseline = scorer.measure_baseline(texts_list, pairs=10)
+        assert 0.0 <= baseline <= 1.0
+
+    @given(texts, texts)
+    @settings(max_examples=20, deadline=None)
+    def test_symmetric_f1_range(self, left, right):
+        scorer = BertScorer()
+        assert 0.0 <= scorer.score(left, right).f1 <= 1.0 + 1e-9
+
+
+class TestGEvalMetric:
+    @pytest.fixture(scope="class")
+    def metric(self, chatiyp_small):
+        return GEvalMetric(chatiyp_small.llm)
+
+    def test_correct_answer_high(self, metric):
+        score = metric.score(
+            "What is the percentage of Japan's population in AS2497?",
+            "The percent is 5.3.",
+            "The share is 5.3%.",
+            {"5.3"},
+        )
+        assert score.score > 0.75
+        assert score.rating >= 4
+
+    def test_wrong_answer_low(self, metric):
+        score = metric.score(
+            "What is the percentage of Japan's population in AS2497?",
+            "The percent is 99.9.",
+            "The share is 5.3%.",
+            {"5.3"},
+        )
+        assert score.score < 0.3
+
+    def test_breakdown_present(self, metric):
+        score = metric.score("q", "The value is 5.", "The value is 5.", {"5"})
+        assert 0 <= score.factuality <= 1
+        assert 0 <= score.relevance <= 1
+        assert 0 <= score.informativeness <= 1

@@ -1,0 +1,50 @@
+"""Tests for the paraphrase-penalty experiment."""
+
+import pytest
+
+from repro.eval import METRIC_KEYS, build_cyphereval, paraphrase_penalty
+
+
+@pytest.fixture(scope="module")
+def questions(chatiyp_small):
+    return build_cyphereval(chatiyp_small.dataset, per_template=2)
+
+
+@pytest.fixture(scope="module")
+def penalty(chatiyp_small, questions):
+    return paraphrase_penalty(
+        chatiyp_small.store, questions, chatiyp_small.llm, limit=60
+    )
+
+
+class TestParaphrasePenalty:
+    def test_all_metrics_measured(self, penalty):
+        assert set(penalty.mean_scores) == set(METRIC_KEYS)
+        assert penalty.pairs == 60
+
+    def test_scores_in_unit_range(self, penalty):
+        for value in penalty.mean_scores.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_finding1_ordering(self, penalty):
+        assert penalty.penalty("bleu") > penalty.penalty("rouge1")
+        assert penalty.penalty("rouge1") > penalty.penalty("bertscore")
+        assert penalty.penalty("geval") < 0.15
+
+    def test_same_seeds_rejected(self, chatiyp_small, questions):
+        with pytest.raises(ValueError):
+            paraphrase_penalty(
+                chatiyp_small.store, questions, chatiyp_small.llm,
+                reference_seed=5, paraphrase_seed=5,
+            )
+
+    def test_no_usable_questions_rejected(self, chatiyp_small, questions):
+        empty_only = [q for q in questions if q.template == "never-matches"]
+        with pytest.raises(ValueError):
+            paraphrase_penalty(chatiyp_small.store, empty_only, chatiyp_small.llm)
+
+    def test_deterministic(self, chatiyp_small, questions, penalty):
+        again = paraphrase_penalty(
+            chatiyp_small.store, questions, chatiyp_small.llm, limit=60
+        )
+        assert again.mean_scores == penalty.mean_scores

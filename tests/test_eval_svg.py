@@ -1,0 +1,88 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.eval import EvaluationHarness, build_cyphereval
+from repro.eval.svg import bar_chart_svg, figure_2a_svg, figure_2b_svg, histogram_svg
+
+
+@pytest.fixture(scope="module")
+def report(chatiyp_small):
+    questions = build_cyphereval(chatiyp_small.dataset, per_template=1)
+    return EvaluationHarness(chatiyp_small, questions).run()
+
+
+def parse_svg(text):
+    return ElementTree.fromstring(text)
+
+
+SVG = "{http://www.w3.org/2000/svg}"
+
+
+class TestHistogramSvg:
+    def test_valid_xml(self):
+        root = parse_svg(histogram_svg([0.1, 0.9, 0.95], "demo"))
+        assert root.tag == f"{SVG}svg"
+
+    def test_bar_per_bin(self):
+        root = parse_svg(histogram_svg([0.05] * 3 + [0.95], "demo", bins=5))
+        bars = [r for r in root.iter(f"{SVG}rect")]
+        assert len(bars) == 1 + 5  # background + one bar per bin
+
+    def test_title_present(self):
+        svg = histogram_svg([0.5], "my metric title")
+        assert "my metric title" in svg
+
+    def test_empty_values_ok(self):
+        parse_svg(histogram_svg([], "empty"))
+
+
+class TestBarChartSvg:
+    def test_valid_with_series(self):
+        svg = bar_chart_svg(
+            ["easy", "hard"],
+            {"a": [0.9, 0.2], "b": [0.8, 0.3]},
+            "demo", y_label="score",
+        )
+        root = parse_svg(svg)
+        texts = [t.text for t in root.iter(f"{SVG}text")]
+        assert "easy" in texts and "hard" in texts
+        assert "a" in texts and "b" in texts
+
+    def test_values_clamped(self):
+        parse_svg(bar_chart_svg(["g"], {"s": [7.0]}, "clamped"))  # must not raise
+
+
+class TestFigureRenderers:
+    def test_figure_2a_contains_all_metrics(self, report):
+        svg = figure_2a_svg(report)
+        parse_svg(svg)
+        for metric in ("bleu", "rouge1", "bertscore", "geval"):
+            assert metric in svg
+
+    def test_figure_2b_contains_difficulties(self, report):
+        svg = figure_2b_svg(report)
+        parse_svg(svg)
+        for difficulty in ("easy", "medium", "hard"):
+            assert difficulty in svg
+
+    def test_deterministic(self, report):
+        assert figure_2a_svg(report) == figure_2a_svg(report)
+
+    def test_example_script(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parent.parent / "examples" / "make_figures.py"
+        proc = subprocess.run(
+            [sys.executable, str(script), str(tmp_path)],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert (tmp_path / "fig2a.svg").exists()
+        assert (tmp_path / "fig2b.svg").exists()
+        parse_svg((tmp_path / "fig2a.svg").read_text())
+        parse_svg((tmp_path / "fig2b.svg").read_text())

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "5.3" in proc.stdout  # the §1 anchor answer
+        assert "Cypher" in proc.stdout
+
+    def test_routing_investigation(self):
+        proc = run_example("routing_investigation.py", "2497")
+        assert proc.returncode == 0, proc.stderr
+        assert "Investigating AS2497" in proc.stdout
+        assert "raw Cypher" in proc.stdout
+
+    def test_evaluation_run(self):
+        proc = run_example("evaluation_run.py", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "Figure 2a" in proc.stdout
+        assert "Figure 2b" in proc.stdout
+        assert "Finding 1" in proc.stdout
+
+    def test_http_api_demo(self):
+        proc = run_example("http_api_demo.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "GET /health" in proc.stdout
+        assert "POST /ask" in proc.stdout
+        assert "Server stopped." in proc.stdout
+
+    def test_conversation(self):
+        proc = run_example("conversation.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "(resolved: How many prefixes does AS2497 originate?)" in proc.stdout
+        assert "Turns recorded in session history: 6" in proc.stdout

@@ -1,0 +1,130 @@
+"""Unit tests for repro.graph.model."""
+
+import pytest
+
+from repro.graph.model import (
+    Node,
+    Path,
+    Relationship,
+    validate_properties,
+    validate_property_value,
+)
+
+
+class TestValidatePropertyValue:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 0, -3, 2.5, "x", ""):
+            assert validate_property_value(value) == value
+
+    def test_lists_are_normalised(self):
+        assert validate_property_value((1, 2)) == [1, 2]
+        assert validate_property_value([1, [2, 3]]) == [1, [2, 3]]
+
+    def test_rejects_dicts(self):
+        with pytest.raises(TypeError):
+            validate_property_value({"a": 1})
+
+    def test_rejects_objects(self):
+        with pytest.raises(TypeError):
+            validate_property_value(object())
+
+
+class TestValidateProperties:
+    def test_none_map_becomes_empty(self):
+        assert validate_properties(None) == {}
+
+    def test_none_values_are_dropped(self):
+        assert validate_properties({"a": 1, "b": None}) == {"a": 1}
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(TypeError):
+            validate_properties({1: "x"})
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(TypeError):
+            validate_properties({"": "x"})
+
+
+class TestNode:
+    def test_labels_are_frozenset(self):
+        node = Node(1, ["AS", "AS", "Network"])
+        assert node.labels == frozenset({"AS", "Network"})
+
+    def test_property_access(self):
+        node = Node(1, ["AS"], {"asn": 2497})
+        assert node["asn"] == 2497
+        assert node.get("asn") == 2497
+        assert node.get("missing", "d") == "d"
+        assert "asn" in node
+        assert "missing" not in node
+
+    def test_has_label(self):
+        node = Node(1, ["AS"])
+        assert node.has_label("AS")
+        assert not node.has_label("Prefix")
+
+    def test_equality_is_by_identity(self):
+        assert Node(1, ["AS"], {"asn": 1}) == Node(1, ["Prefix"], {"x": 2})
+        assert Node(1, ["AS"]) != Node(2, ["AS"])
+
+    def test_hashable(self):
+        assert len({Node(1, ["AS"]), Node(1, ["AS"]), Node(2, ["AS"])}) == 2
+
+    def test_repr_mentions_labels(self):
+        assert ":AS" in repr(Node(1, ["AS"]))
+
+
+class TestRelationship:
+    def test_requires_type(self):
+        with pytest.raises(TypeError):
+            Relationship(1, "", 0, 1)
+
+    def test_other_end(self):
+        rel = Relationship(1, "PEERS_WITH", 10, 20)
+        assert rel.other_end(10) == 20
+        assert rel.other_end(20) == 10
+
+    def test_other_end_rejects_non_endpoint(self):
+        rel = Relationship(1, "PEERS_WITH", 10, 20)
+        with pytest.raises(ValueError):
+            rel.other_end(30)
+
+    def test_equality_by_identity(self):
+        assert Relationship(1, "A", 0, 1) == Relationship(1, "B", 5, 6)
+        assert Relationship(1, "A", 0, 1) != Relationship(2, "A", 0, 1)
+
+    def test_node_and_rel_with_same_id_differ(self):
+        assert hash(Node(1, ["AS"])) != hash(Relationship(1, "A", 0, 1))
+
+    def test_property_access(self):
+        rel = Relationship(1, "POPULATION", 0, 1, {"percent": 5.3})
+        assert rel["percent"] == 5.3
+        assert rel.get("missing") is None
+        assert "percent" in rel
+
+
+class TestPath:
+    def _nodes(self, n):
+        return [Node(i, ["AS"]) for i in range(n)]
+
+    def test_length_counts_relationships(self):
+        nodes = self._nodes(3)
+        rels = [Relationship(0, "X", 0, 1), Relationship(1, "X", 1, 2)]
+        path = Path(nodes, rels)
+        assert path.length == 2
+        assert path.start_node == nodes[0]
+        assert path.end_node == nodes[2]
+
+    def test_single_node_path(self):
+        path = Path(self._nodes(1), [])
+        assert path.length == 0
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Path(self._nodes(2), [])
+
+    def test_equality_and_hash(self):
+        nodes = self._nodes(2)
+        rels = [Relationship(0, "X", 0, 1)]
+        assert Path(nodes, rels) == Path(list(nodes), list(rels))
+        assert hash(Path(nodes, rels)) == hash(Path(list(nodes), list(rels)))

@@ -1,0 +1,117 @@
+"""Tests for schema introspection and CSV import/export."""
+
+import io
+
+import pytest
+
+from repro.graph import GraphStore, introspect_schema
+from repro.graph.csv_io import (
+    export_graph,
+    export_to_directory,
+    import_from_directory,
+    import_graph,
+)
+
+
+@pytest.fixture()
+def store():
+    store = GraphStore()
+    iij = store.create_node(["AS"], {"asn": 2497, "name": "IIJ"})
+    jp = store.create_node(["Country"], {"country_code": "JP"})
+    store.create_relationship(iij.node_id, "COUNTRY", jp.node_id)
+    store.create_relationship(iij.node_id, "POPULATION", jp.node_id, {"percent": 5.3})
+    return store
+
+
+class TestSchemaIntrospection:
+    def test_node_labels_and_counts(self, store):
+        schema = introspect_schema(store)
+        assert schema.node_labels == {"AS": 1, "Country": 1}
+
+    def test_node_properties_sorted(self, store):
+        schema = introspect_schema(store)
+        assert schema.node_properties["AS"] == ("asn", "name")
+
+    def test_relationship_patterns(self, store):
+        schema = introspect_schema(store)
+        patterns = {rel.pattern() for rel in schema.relationships}
+        assert "(:AS)-[:COUNTRY]->(:Country)" in patterns
+        assert "(:AS)-[:POPULATION]->(:Country)" in patterns
+
+    def test_relationship_property_keys(self, store):
+        schema = introspect_schema(store)
+        population = next(r for r in schema.relationships if r.rel_type == "POPULATION")
+        assert population.property_keys == ("percent",)
+
+    def test_describe_renders_prompt_text(self, store):
+        text = introspect_schema(store).describe()
+        assert "(:AS {asn, name})" in text
+        assert "(:AS)-[:POPULATION]->(:Country) {percent}" in text
+
+    def test_describe_respects_max_relationships(self, store):
+        text = introspect_schema(store).describe(max_relationships=1)
+        assert text.count("->") == 1
+
+    def test_has_label_and_types(self, store):
+        schema = introspect_schema(store)
+        assert schema.has_label("AS")
+        assert not schema.has_label("Prefix")
+        assert schema.relationship_types() == ["COUNTRY", "POPULATION"]
+
+    def test_multilabel_node_counts_once_per_label(self):
+        store = GraphStore()
+        store.create_node(["AS", "Legacy"], {"asn": 1})
+        schema = introspect_schema(store)
+        assert schema.node_labels == {"AS": 1, "Legacy": 1}
+
+
+class TestCsvRoundtrip:
+    def test_stream_roundtrip(self, store):
+        nodes_file, rels_file = io.StringIO(), io.StringIO()
+        export_graph(store, nodes_file, rels_file)
+        nodes_file.seek(0)
+        rels_file.seek(0)
+        loaded = import_graph(nodes_file, rels_file)
+        assert loaded.node_count == store.node_count
+        assert loaded.relationship_count == store.relationship_count
+        iij = next(loaded.nodes_by_property("AS", "asn", 2497))
+        assert iij["name"] == "IIJ"
+
+    def test_directory_roundtrip(self, store, tmp_path):
+        export_to_directory(store, tmp_path / "dump")
+        loaded = import_from_directory(tmp_path / "dump")
+        assert loaded.node_count == 2
+        rels = list(loaded.all_relationships())
+        assert {rel.rel_type for rel in rels} == {"COUNTRY", "POPULATION"}
+        population = next(r for r in rels if r.rel_type == "POPULATION")
+        assert population["percent"] == 5.3
+
+    def test_roundtrip_preserves_list_properties(self, tmp_path):
+        store = GraphStore()
+        store.create_node(["AS"], {"asn": 1, "tags": ["a", "b"]})
+        export_to_directory(store, tmp_path)
+        loaded = import_from_directory(tmp_path)
+        node = next(loaded.nodes_by_label("AS"))
+        assert node["tags"] == ["a", "b"]
+
+    def test_roundtrip_preserves_multi_labels(self, tmp_path):
+        store = GraphStore()
+        store.create_node(["AS", "Legacy"], {"asn": 1})
+        export_to_directory(store, tmp_path)
+        loaded = import_from_directory(tmp_path)
+        node = next(loaded.nodes_by_label("Legacy"))
+        assert node.labels == frozenset({"AS", "Legacy"})
+
+    def test_import_rejects_bad_header(self):
+        nodes = io.StringIO("wrong,header,here\n")
+        rels = io.StringIO("start_id,type,end_id,properties\n")
+        with pytest.raises(ValueError):
+            import_graph(nodes, rels)
+
+    def test_import_remaps_ids(self, store, tmp_path):
+        # Delete and recreate so original ids are non-contiguous.
+        extra = store.create_node(["Tag"], {"label": "x"})
+        store.delete_node(extra.node_id)
+        export_to_directory(store, tmp_path)
+        loaded = import_from_directory(tmp_path)
+        assert sorted(n.node_id for n in loaded.all_nodes()) == [0, 1]

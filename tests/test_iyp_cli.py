@@ -1,0 +1,34 @@
+"""Tests for the IYP dump CLI (`python -m repro.iyp`)."""
+
+import pytest
+
+from repro.graph.csv_io import import_from_directory
+from repro.iyp.__main__ import main
+
+
+class TestIypCli:
+    def test_export_roundtrip(self, capsys, tmp_path):
+        exit_code = main(["--size", "small", "--out", str(tmp_path / "dump")])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Generated" in output
+        loaded = import_from_directory(tmp_path / "dump")
+        assert loaded.node_count > 500
+        iij = next(loaded.nodes_by_property("AS", "asn", 2497))
+        assert "IIJ" in iij["name"]
+
+    def test_stats_flag(self, capsys, tmp_path):
+        main(["--size", "small", "--out", str(tmp_path / "d"), "--stats"])
+        output = capsys.readouterr().out
+        assert "Relationship patterns" in output
+
+    def test_seed_changes_output(self, tmp_path):
+        main(["--size", "small", "--seed", "1", "--out", str(tmp_path / "a")])
+        main(["--size", "small", "--seed", "2", "--out", str(tmp_path / "b")])
+        a = (tmp_path / "a" / "nodes.csv").read_text()
+        b = (tmp_path / "b" / "nodes.csv").read_text()
+        assert a != b
+
+    def test_out_required(self):
+        with pytest.raises(SystemExit):
+            main(["--size", "small"])

@@ -1,0 +1,94 @@
+"""Tests for the IYP query cookbook (executable schema documentation)."""
+
+import pytest
+
+from repro.cypher import CypherEngine
+from repro.iyp.queries import COOKBOOK, cookbook_names, run_cookbook_query
+
+
+@pytest.fixture(scope="module")
+def engine(small_dataset):
+    return CypherEngine(small_dataset.store)
+
+
+@pytest.fixture(scope="module")
+def params(small_dataset):
+    """One valid parameter set per cookbook query."""
+    asn = 2497
+    asn2 = 15169
+    prefix = next(
+        p for p, origin in small_dataset.prefix_origin.items()
+    )
+    return {
+        "as_overview": {"asn": asn},
+        "as_prefixes": {"asn": asn},
+        "prefix_origin": {"prefix": prefix},
+        "country_eyeball_ranking": {"cc": "JP"},
+        "as_neighbourhood": {"asn": asn},
+        "as_dependencies": {"asn": asn},
+        "ixp_members": {"ixp": small_dataset.ixps[0]},
+        "country_ixps_with_members": {"cc": "JP"},
+        "domain_resolution_chain": {"domain": small_dataset.domains[0]},
+        "top_ranked_ases": {"top": 5},
+        "tag_members": {"tag": "Transit Provider"},
+        "as_transit_path": {"asn1": asn, "asn2": asn2},
+        "org_footprint": {"org": sorted(small_dataset.org_nodes)[0]},
+        "country_probe_coverage": {"cc": "US"},
+    }
+
+
+class TestCookbook:
+    def test_every_query_has_params_defined_in_test(self, params):
+        assert set(params) == set(COOKBOOK)
+
+    def test_every_query_executes(self, engine, params):
+        for name in cookbook_names():
+            run_cookbook_query(engine, name, **params[name])  # must not raise
+
+    def test_as_overview_fields(self, engine, params):
+        record = run_cookbook_query(engine, "as_overview", **params["as_overview"]).single()
+        assert record["asn"] == 2497
+        assert "IIJ" in record["name"]
+        assert record["country"] == "Japan"
+        assert record["organization"]
+
+    def test_country_eyeball_ranking_sorted(self, engine, params):
+        result = run_cookbook_query(
+            engine, "country_eyeball_ranking", **params["country_eyeball_ranking"]
+        )
+        percents = result.values("percent")
+        assert percents == sorted(percents, reverse=True)
+        assert 5.3 in percents  # the anchored AS2497 share
+
+    def test_neighbourhood_roles(self, engine, params):
+        result = run_cookbook_query(
+            engine, "as_neighbourhood", **params["as_neighbourhood"]
+        )
+        roles = {record["role"] for record in result}
+        assert roles <= {"peer", "customer", "provider"}
+
+    def test_top_ranked_respects_limit(self, engine, params):
+        result = run_cookbook_query(engine, "top_ranked_ases", top=5)
+        assert len(result) == 5
+        assert result.values("rank") == [1, 2, 3, 4, 5]
+
+    def test_transit_path_connects(self, engine, params):
+        result = run_cookbook_query(engine, "as_transit_path", asn1=2497, asn2=15169)
+        if result.records:  # connectivity depends on the synthetic topology
+            record = result.single()
+            assert record["path"][0] == 2497
+            assert record["path"][-1] == 15169
+            assert record["hops"] == len(record["path"]) - 1
+
+    def test_missing_parameter_rejected(self, engine):
+        with pytest.raises(ValueError):
+            run_cookbook_query(engine, "as_overview")
+
+    def test_unknown_query_rejected(self, engine):
+        with pytest.raises(KeyError):
+            run_cookbook_query(engine, "does_not_exist")
+
+    def test_descriptions_present(self):
+        for query in COOKBOOK.values():
+            assert query.description
+            assert query.cypher.startswith("MATCH")

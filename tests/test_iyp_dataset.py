@@ -1,0 +1,221 @@
+"""Tests for the synthetic IYP dataset generator."""
+
+import pytest
+
+from repro.cypher import execute
+from repro.iyp import (
+    AS2497_JP_PERCENT,
+    EDGE_PATTERNS,
+    IYPConfig,
+    NodeLabel,
+    RelType,
+    generate_iyp,
+    load_dataset,
+    schema_summary,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        first = generate_iyp(IYPConfig.small(seed=5))
+        second = generate_iyp(IYPConfig.small(seed=5))
+        assert first.store.node_count == second.store.node_count
+        assert first.store.relationship_count == second.store.relationship_count
+        assert first.asns == second.asns
+        assert first.prefixes == second.prefixes
+        assert first.population_share == second.population_share
+
+    def test_different_seed_different_graph(self):
+        first = generate_iyp(IYPConfig.small(seed=5))
+        second = generate_iyp(IYPConfig.small(seed=6))
+        assert first.prefixes != second.prefixes
+
+    def test_loader_caches(self):
+        assert load_dataset("small") is load_dataset("small")
+
+    def test_loader_rejects_unknown_preset(self):
+        with pytest.raises(ValueError):
+            load_dataset("enormous")
+
+
+class TestAnchors:
+    def test_as2497_exists_with_name(self, small_dataset):
+        node = small_dataset.as_nodes[2497]
+        assert "IIJ" in node["name"]
+
+    def test_japan_population_anchor(self, small_dataset):
+        result = execute(
+            small_dataset.store,
+            "MATCH (:AS {asn: 2497})-[p:POPULATION]->(:Country {country_code: 'JP'}) "
+            "RETURN p.percent AS percent",
+        )
+        assert result.single()["percent"] == AS2497_JP_PERCENT
+
+    def test_well_known_ases_have_country(self, small_dataset):
+        for asn in (2497, 15169, 13335):
+            result = execute(
+                small_dataset.store,
+                "MATCH (:AS {asn: $asn})-[:COUNTRY]->(c:Country) RETURN c.country_code",
+                asn=asn,
+            )
+            assert len(result) == 1
+
+
+class TestSchemaConformance:
+    def test_all_edges_match_documented_patterns(self, small_dataset):
+        allowed = {(start, rel, end) for start, rel, end, _ in EDGE_PATTERNS}
+        store = small_dataset.store
+        for rel in store.all_relationships():
+            start_labels = store.node(rel.start_id).labels
+            end_labels = store.node(rel.end_id).labels
+            assert any(
+                (s, rel.rel_type, e) in allowed
+                for s in start_labels
+                for e in end_labels
+            ), f"undocumented edge {start_labels} -{rel.rel_type}-> {end_labels}"
+
+    def test_every_rel_type_is_exercised(self, small_dataset):
+        present = set(small_dataset.store.relationship_types())
+        assert present == set(RelType.ALL)
+
+    def test_every_label_is_present(self, small_dataset):
+        assert set(small_dataset.store.labels()) == set(NodeLabel.ALL)
+
+    def test_edge_properties_match_schema(self, small_dataset):
+        expected = {
+            (start, rel, end): set(props) for start, rel, end, props in EDGE_PATTERNS
+        }
+        store = small_dataset.store
+        for rel in store.all_relationships():
+            start = sorted(store.node(rel.start_id).labels)[0]
+            end = sorted(store.node(rel.end_id).labels)[0]
+            allowed_props = expected.get((start, rel.rel_type, end))
+            if allowed_props is not None:
+                assert set(rel.properties) <= allowed_props
+
+    def test_schema_summary_mentions_population(self):
+        assert "(:AS)-[:POPULATION {percent}]->(:Country)" in schema_summary()
+
+
+class TestStructure:
+    def test_sizes_scale_with_config(self):
+        small = generate_iyp(IYPConfig.small())
+        assert small.store.node_count < 1500
+        assert len(small.as_nodes) == IYPConfig.small().n_ases
+
+    def test_every_as_has_exactly_one_country(self, small_dataset):
+        result = execute(
+            small_dataset.store,
+            "MATCH (a:AS)-[:COUNTRY]->(c:Country) RETURN a.asn AS asn, count(c) AS n",
+        )
+        assert all(record["n"] == 1 for record in result)
+        assert len(result) == len(small_dataset.as_nodes)
+
+    def test_every_prefix_has_an_origin(self, small_dataset):
+        orphans = execute(
+            small_dataset.store,
+            "MATCH (p:Prefix) WHERE NOT (p)<-[:ORIGINATE]-(:AS) RETURN count(p) AS c",
+        )
+        assert orphans.single()["c"] == 0
+
+    def test_population_percentages_are_sane(self, small_dataset):
+        result = execute(
+            small_dataset.store,
+            "MATCH (:AS)-[p:POPULATION]->(c:Country) "
+            "RETURN c.country_code AS cc, sum(p.percent) AS total",
+        )
+        for record in result:
+            assert 0 < record["total"] <= 110.0
+
+    def test_asrank_is_a_permutation(self, small_dataset):
+        result = execute(
+            small_dataset.store,
+            "MATCH (:AS)-[r:RANK]->(:Ranking {name: 'CAIDA ASRank'}) "
+            "RETURN r.rank AS rank ORDER BY rank",
+        )
+        ranks = result.values("rank")
+        assert ranks == list(range(1, len(small_dataset.as_nodes) + 1))
+
+    def test_tier1_clique_peers(self, small_dataset):
+        n_tier1 = small_dataset.config.n_tier1
+        ranked = sorted(
+            small_dataset.as_size, key=small_dataset.as_size.get, reverse=True
+        )[:n_tier1]
+        result = execute(
+            small_dataset.store,
+            "MATCH (a:AS)-[r:PEERS_WITH {rel: 0}]-(b:AS) "
+            "WHERE a.asn IN $tier1 AND b.asn IN $tier1 "
+            "RETURN count(DISTINCT r) AS edges",
+            tier1=ranked,
+        )
+        assert result.single()["edges"] == n_tier1 * (n_tier1 - 1) // 2
+
+    def test_dependencies_have_hegemony_in_range(self, small_dataset):
+        result = execute(
+            small_dataset.store,
+            "MATCH (:AS)-[d:DEPENDS_ON]->(:AS) RETURN min(d.hege) AS lo, max(d.hege) AS hi",
+        )
+        record = result.single()
+        assert 0.0 < record["lo"] <= record["hi"] <= 1.0
+
+    def test_prefixes_unique(self, small_dataset):
+        assert len(small_dataset.prefixes) == len(set(small_dataset.prefixes))
+
+    def test_ips_are_inside_their_prefix_network(self, small_dataset):
+        result = execute(
+            small_dataset.store,
+            "MATCH (i:IP)-[:PART_OF]->(p:Prefix) RETURN i.ip AS ip, p.prefix AS prefix",
+        )
+        for record in result:
+            prefix_base = record["prefix"].split("/")[0].rsplit(".", 1)[0]
+            assert record["ip"].startswith(prefix_base + ".")
+
+    def test_hostnames_point_to_existing_domains(self, small_dataset):
+        orphans = execute(
+            small_dataset.store,
+            "MATCH (h:HostName) WHERE NOT (h)-[:PART_OF]->(:DomainName) "
+            "RETURN count(h) AS c",
+        )
+        assert orphans.single()["c"] == 0
+
+    def test_indexed_lookup_agrees_with_scan(self, small_dataset):
+        store = small_dataset.store
+        asn = small_dataset.asns[0]
+        indexed = list(store.nodes_by_property("AS", "asn", asn))
+        scanned = [n for n in store.nodes_by_label("AS") if n["asn"] == asn]
+        assert indexed == scanned
+
+
+class TestDistributionRealism:
+    def test_prefix_origination_is_heavy_tailed(self, small_dataset):
+        """Power-law AS sizes: the top decile originates most prefixes."""
+        counts = {}
+        for asn in small_dataset.prefix_origin.values():
+            counts[asn] = counts.get(asn, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        top_decile = max(1, len(small_dataset.as_nodes) // 10)
+        share = sum(ordered[:top_decile]) / sum(ordered)
+        # Uniform allocation would give the top decile ~14% here; the
+        # power-law weights should concentrate clearly more than that.
+        assert share > 0.25
+
+    def test_peer_degree_skewed(self, small_dataset):
+        store = small_dataset.store
+        degrees = sorted(
+            (
+                store.degree(node.node_id, "both", ["PEERS_WITH"])
+                for node in store.nodes_by_label("AS")
+            ),
+            reverse=True,
+        )
+        assert degrees[0] >= 3 * max(1, degrees[len(degrees) // 2])
+
+    def test_most_ases_have_providers(self, small_dataset):
+        from repro.cypher import execute
+
+        orphaned = execute(
+            small_dataset.store,
+            "MATCH (a:AS) WHERE NOT (a)-[:DEPENDS_ON]->(:AS) RETURN count(a) AS c",
+        ).single()["c"]
+        # Only the tier-1 clique has no upstream dependencies.
+        assert orphaned <= small_dataset.config.n_tier1

@@ -1,0 +1,98 @@
+"""Tests for IPv6 prefixes and the newest CypherEval templates."""
+
+import re
+
+import pytest
+
+from repro.cypher import CypherEngine, execute
+from repro.eval import build_cyphereval
+from repro.nlp import EntityExtractor
+
+
+class TestV6Prefixes:
+    def test_v6_share_roughly_one_sixth(self, small_dataset):
+        result = execute(
+            small_dataset.store,
+            "MATCH (p:Prefix) RETURN p.af AS af, count(*) AS n ORDER BY af",
+        )
+        counts = {record["af"]: record["n"] for record in result}
+        assert counts[6] > 0
+        assert counts[4] > counts[6]
+        assert counts[6] == pytest.approx(sum(counts.values()) / 6, rel=0.3)
+
+    def test_v6_prefix_format(self, small_dataset):
+        v6_format = re.compile(r"^[0-9a-f]{1,4}(:[0-9a-f]{0,4}){1,3}:/(32|48)$|^.*::/(32|48)$")
+        prefixes = execute(
+            small_dataset.store,
+            "MATCH (p:Prefix {af: 6}) RETURN p.prefix AS prefix",
+        ).values("prefix")
+        for prefix in prefixes:
+            assert "::" in prefix and prefix.endswith(("/32", "/48")), prefix
+
+    def test_no_ips_inside_v6_prefixes(self, small_dataset):
+        result = execute(
+            small_dataset.store,
+            "MATCH (:IP)-[:PART_OF]->(p:Prefix {af: 6}) RETURN count(*) AS c",
+        )
+        assert result.single()["c"] == 0
+
+    def test_v6_prefixes_have_origins(self, small_dataset):
+        orphans = execute(
+            small_dataset.store,
+            "MATCH (p:Prefix {af: 6}) WHERE NOT (p)<-[:ORIGINATE]-(:AS) "
+            "RETURN count(p) AS c",
+        )
+        assert orphans.single()["c"] == 0
+
+    def test_extractor_handles_v6_prefixes(self):
+        extractor = EntityExtractor()
+        entities = extractor.extract("Who originates 2001:db8::/32 these days?")
+        assert entities.prefixes == ["2001:db8::/32"]
+
+    def test_extractor_handles_48s(self):
+        extractor = EntityExtractor()
+        entities = extractor.extract("And 2a00:12:34::/48 as well")
+        assert "2a00:12:34::/48" in entities.prefixes
+
+
+class TestNewTemplates:
+    @pytest.fixture(scope="class")
+    def questions(self, small_dataset):
+        return build_cyphereval(small_dataset, seed=7)
+
+    def test_new_templates_present(self, questions):
+        names = {q.template for q in questions}
+        assert {"v6_prefix_count_of_as", "shortest_as_path", "rank_compare"} <= names
+
+    def test_v6_gold_counts_only_v6(self, small_dataset, questions):
+        engine = CypherEngine(small_dataset.store)
+        question = next(q for q in questions if q.template == "v6_prefix_count_of_as")
+        v6_count = engine.run(question.gold_cypher).single()["prefixes"]
+        total = engine.run(
+            f"MATCH (:AS {{asn: {question.entities['asn']}}})-[:ORIGINATE]->(p:Prefix) "
+            "RETURN count(p) AS c"
+        ).single()["c"]
+        assert v6_count <= total
+
+    def test_shortest_path_gold_executes(self, small_dataset, questions):
+        engine = CypherEngine(small_dataset.store)
+        for question in questions:
+            if question.template == "shortest_as_path":
+                result = engine.run(question.gold_cypher)
+                if result.records:
+                    assert result.single()["hops"] >= 1
+
+    def test_rank_compare_gold_picks_better_ranked(self, small_dataset, questions):
+        engine = CypherEngine(small_dataset.store)
+        question = next(q for q in questions if q.template == "rank_compare")
+        winner = engine.run(question.gold_cypher).single()["asn"]
+        ranks = {}
+        for asn in (question.entities["asn"], question.entities["asn2"]):
+            ranks[asn] = engine.run(
+                f"MATCH (:AS {{asn: {asn}}})-[r:RANK]->"
+                "(:Ranking {name: 'CAIDA ASRank'}) RETURN r.rank AS rank"
+            ).single()["rank"]
+        assert winner == min(ranks, key=ranks.get)
+
+    def test_total_still_above_300(self, questions):
+        assert len(questions) >= 300

@@ -1,0 +1,108 @@
+"""Property-based tests on the simulated LLM components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm import AnswerJudge, ErrorModel, RelevanceScorer, ResultVerbalizer
+from repro.llm.judge import extract_facts
+from repro.cypher.result import Record, ResultSet
+
+answers = st.lists(
+    st.sampled_from(
+        "the answer is 5.3 percent AS2497 Japan organization IIJ rank 42 "
+        "prefixes no matching data found".split()
+    ),
+    min_size=1, max_size=20,
+).map(" ".join)
+
+
+class TestJudgeProperties:
+    @given(answers, answers)
+    @settings(max_examples=40, deadline=None)
+    def test_score_bounded_and_deterministic(self, candidate, reference):
+        judge = AnswerJudge()
+        first = judge.judge("a question about AS2497", candidate, reference, {"5.3"})
+        second = judge.judge("a question about AS2497", candidate, reference, {"5.3"})
+        assert 0.0 <= first.score <= 1.0
+        assert first.score == second.score
+        assert 1 <= first.rating <= 5
+
+    @given(answers)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_reference_never_loses_to_garbage(self, reference):
+        judge = AnswerJudge()
+        gold = extract_facts(reference)
+        exact = judge.judge("q", reference, reference, gold)
+        garbage = judge.judge("q", "flying spaghetti 999999 nonsense", reference, gold)
+        assert exact.score >= garbage.score
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_extract_facts_total(self, text):
+        facts = extract_facts(text)
+        assert isinstance(facts, set)
+        for fact in facts:
+            assert isinstance(fact, str)
+
+
+class TestErrorModelProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=0.5, max_value=3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_probability_always_valid(self, coverage, base, slope, power):
+        model = ErrorModel(base=base, slope=slope, power=power)
+        probability = model.probability(coverage)
+        assert 0.0 <= probability <= 0.97
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_coverage(self, cov_a, cov_b):
+        model = ErrorModel()
+        lo, hi = sorted((cov_a, cov_b))
+        assert model.probability(lo) >= model.probability(hi)
+
+
+class TestScorerProperties:
+    @given(answers, answers)
+    @settings(max_examples=40, deadline=None)
+    def test_score_range(self, query, passage):
+        scorer = RelevanceScorer()
+        assert 0.0 <= scorer.score(query, passage) <= 10.0
+
+    @given(answers)
+    @settings(max_examples=30, deadline=None)
+    def test_self_relevance_not_less_than_empty(self, text):
+        scorer = RelevanceScorer()
+        assert scorer.score(text, text) >= scorer.score(text, "")
+
+
+class TestVerbalizerProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=-1000, max_value=10**6),
+                st.floats(allow_nan=False, allow_infinity=False, width=16),
+                st.text(min_size=1, max_size=10),
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_column_always_produces_text(self, values):
+        verbalizer = ResultVerbalizer(seed=3)
+        result = ResultSet(["v"], [Record(["v"], [value]) for value in values])
+        text = verbalizer.verbalize("some question", result)
+        assert isinstance(text, str) and text.strip()
+
+    @given(st.integers(min_value=0, max_value=20), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_multi_column_always_produces_text(self, rows, cols):
+        verbalizer = ResultVerbalizer(seed=3)
+        keys = [f"c{i}" for i in range(cols)]
+        records = [Record(keys, [f"v{r}_{c}" for c in range(cols)]) for r in range(rows)]
+        text = verbalizer.verbalize("q", ResultSet(keys, records))
+        assert isinstance(text, str) and text.strip()

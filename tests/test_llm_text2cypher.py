@@ -1,0 +1,201 @@
+"""Tests for the simulated text-to-Cypher model."""
+
+import pytest
+
+from repro.cypher import CypherError, execute, parse
+from repro.llm import ErrorModel, TextToCypherModel
+from repro.nlp import Gazetteer
+
+
+@pytest.fixture()
+def model(small_dataset):
+    """A perfectly reliable model (no perturbation) for intent tests."""
+    return TextToCypherModel(
+        Gazetteer.from_dataset(small_dataset),
+        seed=0,
+        error_model=ErrorModel(base=0.0, slope=0.0),
+    )
+
+
+@pytest.fixture()
+def noisy_model(small_dataset):
+    """Default (calibrated) error model."""
+    return TextToCypherModel(Gazetteer.from_dataset(small_dataset), seed=0)
+
+
+class TestIntentMatching:
+    @pytest.mark.parametrize(
+        "question, intent",
+        [
+            ("Which country is AS2497 registered in?", "as_country"),
+            ("What is the percentage of Japan's population in AS2497?", "as_population_share"),
+            ("How many prefixes does AS2497 originate?", "as_prefix_count"),
+            ("Which prefixes does AS2497 announce?", "as_prefix_list"),
+            ("What is the name of AS2497?", "as_name"),
+            ("What is the CAIDA ASRank rank of AS2497?", "as_rank"),
+            ("Which IXPs is AS2497 a member of?", "as_ixps"),
+            ("What organization manages AS2497?", "as_org"),
+            ("Which tags is AS2497 categorized with?", "as_tags"),
+            ("How many peers does AS2497 have?", "as_peer_count"),
+            ("Who are the upstream providers of AS2497?", "as_providers"),
+            ("Which ASes are customers of AS2497?", "as_customers"),
+            ("Which ASes does AS2497 depend on?", "as_dependencies"),
+            ("How many ASes are registered in Japan?", "country_as_count"),
+            ("Which IXPs operate in Japan?", "country_ixps"),
+            ("How many members does AMS-IX have?", "ixp_members_count"),
+            ("How many Atlas probes are located in Japan?", "country_probes"),
+            ("What is the population of Japan?", "country_population_value"),
+            ("Which IP addresses does cloudnet.io resolve to?", "domain_resolve"),
+            ("What is the website URL of AS2497?", "as_website"),
+        ],
+    )
+    def test_canonical_phrasings_map_to_intents(self, model, question, intent):
+        generation = model.generate(question)
+        assert generation.intent == intent, f"{question} -> {generation.intent}"
+        assert generation.cypher is not None
+
+    def test_compound_intent_peers_population(self, model):
+        generation = model.generate(
+            "What percentage of Japan's population is served by ASes that peer with AS2497?"
+        )
+        assert generation.intent == "peers_population"
+        assert "PEERS_WITH" in generation.cypher
+        assert "POPULATION" in generation.cypher
+
+    def test_no_entities_no_translation(self, model):
+        generation = model.generate("Tell me a story about the weather")
+        assert generation.failed
+        assert generation.intent is None
+
+    def test_missing_required_entity_blocks_intent(self, model):
+        # 'population percentage' without a country/asn can't use the share intent.
+        generation = model.generate("What is a population percentage?")
+        assert generation.intent != "as_population_share"
+
+    def test_generated_queries_parse(self, model, small_dataset):
+        questions = [
+            "Which country is AS2497 registered in?",
+            "How many prefixes does AS15169 originate?",
+            "Which IXPs operate in Germany?",
+            "How many members does AMS-IX have?",
+        ]
+        for question in questions:
+            generation = model.generate(question)
+            parse(generation.cypher)  # must not raise
+
+    def test_generated_queries_execute_and_answer(self, model, small_dataset):
+        generation = model.generate("Which country is AS2497 registered in?")
+        result = execute(small_dataset.store, generation.cypher)
+        assert result.single()["country"] == "Japan"
+
+
+class TestCoverageAndConfidence:
+    def test_full_coverage_on_canonical_question(self, model):
+        generation = model.generate("How many prefixes does AS2497 originate?")
+        assert generation.coverage == pytest.approx(1.0)
+
+    def test_oblique_phrasing_lowers_coverage(self, model):
+        canonical = model.generate("How many prefixes does AS2497 originate?")
+        oblique = model.generate(
+            "Considering routing announcements, roughly how many prefixes "
+            "might AS2497 be injecting into the global table?"
+        )
+        assert oblique.coverage < canonical.coverage
+
+    def test_confidence_in_unit_range(self, model):
+        generation = model.generate("Which country is AS2497 registered in?")
+        assert 0.0 < generation.confidence <= 0.99
+
+
+class TestErrorModel:
+    def test_probability_monotone_in_coverage(self):
+        error_model = ErrorModel()
+        probabilities = [error_model.probability(c / 10) for c in range(11)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_probability_bounded(self):
+        error_model = ErrorModel(base=5.0, slope=5.0)
+        assert error_model.probability(0.0) <= 0.97
+        assert ErrorModel(base=0.0, slope=0.0).probability(1.0) == 0.0
+
+    def test_deterministic_given_seed(self, noisy_model):
+        question = "Which ASes does AS2497 depend on?"
+        first = noisy_model.generate(question)
+        second = noisy_model.generate(question)
+        assert first == second
+
+    def test_different_seeds_can_differ(self, small_dataset):
+        gazetteer = Gazetteer.from_dataset(small_dataset)
+        questions = [
+            f"Which ASes does AS{asn} depend on, and what hegemony do they rely on?"
+            for asn in small_dataset.asns[:30]
+        ]
+        outcomes = set()
+        for seed in (0, 1):
+            model = TextToCypherModel(gazetteer, seed=seed)
+            outcomes.add(tuple(model.generate(q).perturbation for q in questions))
+        assert len(outcomes) == 2
+
+    def test_perturbed_queries_mostly_still_execute(self, small_dataset):
+        gazetteer = Gazetteer.from_dataset(small_dataset)
+        model = TextToCypherModel(
+            gazetteer, seed=3, error_model=ErrorModel(base=1.0, slope=0.0, syntax_share=0.0)
+        )
+        generation = model.generate("Which country is AS2497 registered in?")
+        assert generation.perturbation in (
+            "wrong_reltype", "wrong_direction", "drop_filter", "wrong_entity",
+        )
+        execute(small_dataset.store, generation.cypher)  # still valid Cypher
+
+    def test_syntax_breaker_produces_invalid_cypher(self, small_dataset):
+        gazetteer = Gazetteer.from_dataset(small_dataset)
+        model = TextToCypherModel(
+            gazetteer, seed=0, error_model=ErrorModel(base=1.0, slope=0.0, syntax_share=1.0)
+        )
+        generation = model.generate("Which country is AS2497 registered in?")
+        assert generation.perturbation == "syntax_error"
+        with pytest.raises(CypherError):
+            execute(small_dataset.store, generation.cypher)
+
+    def test_all_perturbation_kinds_reachable(self, small_dataset):
+        gazetteer = Gazetteer.from_dataset(small_dataset)
+        kinds = set()
+        for seed in range(40):
+            model = TextToCypherModel(
+                gazetteer, seed=seed, error_model=ErrorModel(base=1.0, slope=0.0)
+            )
+            generation = model.generate("Which country is AS2497 registered in?")
+            kinds.add(generation.perturbation)
+        assert {"wrong_reltype", "wrong_direction", "drop_filter",
+                "wrong_entity", "syntax_error"} <= kinds
+
+
+class TestStructuralAccuracy:
+    def test_noise_free_accuracy_degrades_with_difficulty(self, model, small_dataset):
+        """Even with zero injected noise, the semantic parser translates
+        fewer hard questions correctly — the structural mechanism behind
+        Figure 2b, independent of the error model."""
+        from repro.cypher import CypherEngine, CypherError
+        from repro.eval import build_cyphereval
+
+        engine = CypherEngine(small_dataset.store)
+        questions = build_cyphereval(small_dataset, seed=7, per_template=4)
+        accuracy = {}
+        for difficulty in ("easy", "medium", "hard"):
+            subset = [q for q in questions if q.difficulty == difficulty]
+            correct = 0
+            for question in subset:
+                generation = model.generate(question.question)
+                if generation.cypher is None:
+                    continue
+                try:
+                    produced = engine.run(generation.cypher).to_dicts()
+                except CypherError:
+                    continue
+                gold = engine.run(question.gold_cypher).to_dicts()
+                if produced == gold:
+                    correct += 1
+            accuracy[difficulty] = correct / len(subset)
+        assert accuracy["easy"] > 0.85
+        assert accuracy["easy"] >= accuracy["medium"] >= accuracy["hard"]
+        assert accuracy["hard"] < 0.6

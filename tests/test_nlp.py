@@ -1,0 +1,117 @@
+"""Tests for repro.nlp: tokenisation, n-grams, similarity."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+import pytest
+
+from repro.nlp import (
+    STOPWORDS,
+    char_ngrams,
+    cosine_counts,
+    dice,
+    jaccard,
+    levenshtein,
+    ngram_counts,
+    ngrams,
+    normalize_text,
+    normalized_levenshtein,
+    sentence_split,
+    token_f1,
+    tokenize,
+    word_tokenize,
+)
+from collections import Counter
+
+
+class TestTokenize:
+    def test_word_tokenize_lowercases(self):
+        assert word_tokenize("Hello World") == ["hello", "world"]
+
+    def test_keeps_prefixes_whole(self):
+        assert "203.0.113.0/24" in word_tokenize("prefix 203.0.113.0/24 here")
+
+    def test_keeps_domains_whole(self):
+        assert "cloudnet.io" in word_tokenize("rank of cloudnet.io please")
+
+    def test_asn_token(self):
+        assert "as2497" in word_tokenize("What about AS2497?")
+
+    def test_full_tokenize_includes_punctuation(self):
+        assert "?" in tokenize("Really?")
+
+    def test_sentence_split(self):
+        assert sentence_split("One. Two! Three?") == ["One.", "Two!", "Three?"]
+
+    def test_normalize_text(self):
+        assert normalize_text("  Hello,   WORLD!  ") == "hello world"
+
+    def test_stopwords_contains_question_words(self):
+        assert {"what", "which", "how"} <= set(STOPWORDS)
+
+
+class TestNgrams:
+    def test_ngrams_basic(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_ngrams_too_short(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_ngrams_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_ngram_counts(self):
+        counts = ngram_counts(["a", "a", "a"], 2)
+        assert counts[("a", "a")] == 2
+
+    def test_char_ngrams_padded(self):
+        assert list(char_ngrams("ab", 3)) == ["^ab", "ab$"]
+
+    def test_char_ngrams_unpadded(self):
+        assert list(char_ngrams("abcd", 3, pad=False)) == ["abc", "bcd"]
+
+
+class TestSimilarity:
+    def test_jaccard(self):
+        assert jaccard("ab", "ab") == 1.0
+        assert jaccard("ab", "cd") == 0.0
+        assert jaccard([], []) == 1.0
+
+    def test_dice(self):
+        assert dice({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_cosine_counts(self):
+        assert cosine_counts(Counter("aab"), Counter("aab")) == pytest.approx(1.0)
+        assert cosine_counts(Counter("aa"), Counter("bb")) == 0.0
+        assert cosine_counts(Counter(), Counter()) == 1.0
+
+    def test_levenshtein_known_values(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "abc") == 0
+
+    def test_normalized_levenshtein_bounds(self):
+        assert normalized_levenshtein("", "") == 1.0
+        assert normalized_levenshtein("a", "b") == 0.0
+
+    def test_token_f1(self):
+        assert token_f1("the cat sat", "the cat sat") == 1.0
+        assert token_f1("cat", "dog") == 0.0
+        assert 0 < token_f1("the cat", "the dog") < 1
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_levenshtein_symmetric(self, left, right):
+        assert levenshtein(left, right) == levenshtein(right, left)
+
+    @given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+    def test_levenshtein_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.lists(st.text(min_size=1, max_size=5), max_size=8))
+    def test_jaccard_identity(self, items):
+        assert jaccard(items, items) == 1.0
+
+    @given(st.text(max_size=30))
+    def test_token_f1_identity(self, text):
+        result = token_f1(text, text)
+        assert result == 1.0

@@ -1,0 +1,155 @@
+"""Tests for sub-question decomposition (the future-work extension)."""
+
+import pytest
+
+from repro.core import ChatIYP, ChatIYPConfig
+from repro.cypher import execute
+from repro.nlp import Gazetteer
+from repro.rag import QuestionDecomposer
+
+
+@pytest.fixture(scope="module")
+def decomposer(small_dataset):
+    return QuestionDecomposer(Gazetteer.from_dataset(small_dataset))
+
+
+@pytest.fixture(scope="module")
+def decomposing_bot(small_dataset):
+    config = ChatIYPConfig(
+        dataset_size="small", use_decomposition=True,
+        error_base=0.0, error_slope=0.0,
+    )
+    return ChatIYP(dataset=small_dataset, config=config)
+
+
+class TestDecomposer:
+    def test_peers_population_plan(self, decomposer):
+        plan = decomposer.decompose(
+            "What percentage of Japan's population is served by ASes that "
+            "peer with AS2497?"
+        )
+        assert plan is not None
+        assert plan.name == "peers_population"
+        assert "AS2497" in plan.first
+        assert plan.combine == "sum"
+        assert "{item}" in plan.per_item_template
+
+    def test_orgs_of_tagged_plan(self, decomposer):
+        plan = decomposer.decompose(
+            "Which organizations manage ASes categorized as Transit Provider?"
+        )
+        assert plan is not None
+        assert plan.name == "orgs_of_tagged_ases"
+        assert plan.combine == "collect_distinct"
+
+    def test_country_ixp_members_plan(self, decomposer):
+        plan = decomposer.decompose(
+            "Which ASes are members of IXPs located in Japan?"
+        )
+        assert plan is not None
+        assert plan.name == "members_of_ixps_in_country"
+
+    def test_ixp_dependency_plan(self, decomposer, small_dataset):
+        ixp = small_dataset.ixps[0]
+        plan = decomposer.decompose(
+            f"How many members of {ixp} depend on AS2497?"
+        )
+        assert plan is not None
+        assert plan.name == "ixp_members_depending_on_as"
+        assert plan.match_value == 2497
+
+    def test_simple_questions_not_decomposed(self, decomposer):
+        for question in (
+            "Which country is AS2497 registered in?",
+            "How many prefixes does AS2497 originate?",
+            "What is the population of Japan?",
+        ):
+            assert decomposer.decompose(question) is None
+
+
+class TestDecomposingEngine:
+    def test_simple_question_passthrough(self, decomposing_bot):
+        response = decomposing_bot.ask("Which country is AS2497 registered in?")
+        assert response.retrieval_source == "text2cypher"
+        assert "Japan" in response.answer
+
+    def test_peers_population_answer_matches_gold(self, decomposing_bot, small_dataset):
+        question = (
+            "What percentage of Japan's population is served by ASes that "
+            "peer with AS2497?"
+        )
+        response = decomposing_bot.ask(question)
+        assert response.retrieval_source == "decomposed"
+        gold = execute(
+            small_dataset.store,
+            "MATCH (:AS {asn: 2497})-[:PEERS_WITH]-(b:AS)"
+            "-[p:POPULATION]->(:Country {country_code: 'JP'}) "
+            "RETURN round(sum(p.percent), 1) AS percent",
+        ).single()["percent"]
+        combined = response.diagnostics["decomposition"]["combined_value"]
+        # Sub-questions visit each peer once; gold may double-count ASes
+        # with two peering edges, so allow the truncation-free exact match
+        # or a small tolerance.
+        assert combined == pytest.approx(gold, abs=0.2)
+        assert str(combined) in response.answer
+
+    def test_orgs_of_tagged_matches_gold(self, decomposing_bot, small_dataset):
+        response = decomposing_bot.ask(
+            "Which organizations manage ASes categorized as Transit Provider?"
+        )
+        assert response.retrieval_source == "decomposed"
+        gold = execute(
+            small_dataset.store,
+            "MATCH (o:Organization)<-[:MANAGED_BY]-(a:AS)-[:CATEGORIZED]->"
+            "(:Tag {label: 'Transit Provider'}) "
+            "RETURN DISTINCT o.name AS organization ORDER BY organization",
+        ).values("organization")
+        combined = response.diagnostics["decomposition"]["combined_value"]
+        # The per-item cap may truncate very large enumerations.
+        assert set(combined) <= set(gold)
+        assert len(combined) >= min(len(gold), 1)
+
+    def test_sub_cyphers_reported_for_transparency(self, decomposing_bot):
+        response = decomposing_bot.ask(
+            "Which organizations manage ASes categorized as Transit Provider?"
+        )
+        assert response.cypher.count("--") >= 2  # first + per-item queries
+
+    def test_graceful_degradation_when_first_step_empty(self, decomposing_bot):
+        # No ASes tagged with this phrase pattern -> first step yields rows
+        # only if the tag exists; use an entity-less compound phrasing that
+        # decomposes but whose first step fails.
+        response = decomposing_bot.ask(
+            "Which ASes are members of IXPs located in Egypt?"
+        )
+        # Egypt has no IXPs in the synthetic graph: engine degrades to the
+        # plain pipeline instead of erroring.
+        assert response.answer
+        status = response.diagnostics.get("decomposition", {}).get("status")
+        assert status in (None, "first_step_empty")
+
+
+class TestDecompositionImprovesHardQuestions:
+    def test_hard_slice_geval_improves(self, small_dataset):
+        """The headline claim of the extension, measured."""
+        from repro.eval import EvaluationHarness, build_cyphereval
+
+        questions = [
+            q
+            for q in build_cyphereval(small_dataset, seed=7, per_template=4)
+            if q.template in (
+                "peers_population", "orgs_of_tagged_ases",
+                "members_of_ixps_in_country", "ixp_members_depending_on_as",
+            )
+        ]
+        assert questions
+        baseline_bot = ChatIYP(
+            dataset=small_dataset, config=ChatIYPConfig(dataset_size="small")
+        )
+        decomposed_bot = ChatIYP(
+            dataset=small_dataset,
+            config=ChatIYPConfig(dataset_size="small", use_decomposition=True),
+        )
+        baseline = EvaluationHarness(baseline_bot, questions).run()
+        improved = EvaluationHarness(decomposed_bot, questions).run()
+        assert improved.mean("geval") > baseline.mean("geval")

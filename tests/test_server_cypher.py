@@ -1,0 +1,132 @@
+"""Tests for the /cypher and /cookbook endpoints and query safety."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cypher import CypherSyntaxError, is_read_only
+from repro.server import start_background
+
+
+@pytest.fixture(scope="module")
+def port(chatiyp_small):
+    server, port = start_background(chatiyp_small)
+    yield port
+    server.shutdown()
+
+
+def get(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def post(port, path, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestIsReadOnly:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "MATCH (a:AS) RETURN a",
+            "MATCH (a) WHERE a.x = 1 RETURN count(*)",
+            "RETURN 1 UNION RETURN 2",
+            "MATCH p = shortestPath((a:AS)-[*..3]-(b:AS)) RETURN p LIMIT 1",
+        ],
+    )
+    def test_reads(self, query):
+        assert is_read_only(query)
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "CREATE (a:AS {asn: 1})",
+            "MATCH (a:AS) SET a.x = 1",
+            "MATCH (a:AS) DETACH DELETE a",
+            "MERGE (a:AS {asn: 1})",
+            "MATCH (a:AS) REMOVE a.x",
+            "MATCH (a) RETURN a UNION MATCH (b) DELETE b RETURN b",
+        ],
+    )
+    def test_writes(self, query):
+        assert not is_read_only(query)
+
+    def test_unparseable_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            is_read_only("HELLO WORLD")
+
+
+class TestCypherEndpoint:
+    def test_read_query(self, port):
+        status, payload = post(
+            port, "/cypher",
+            {"query": "MATCH (a:AS {asn: $asn}) RETURN a.name AS name",
+             "params": {"asn": 2497}},
+        )
+        assert status == 200
+        assert payload["keys"] == ["name"]
+        assert "IIJ" in payload["rows"][0]["name"]
+
+    def test_write_rejected(self, port, chatiyp_small):
+        before = chatiyp_small.store.node_count
+        status, payload = post(port, "/cypher", {"query": "CREATE (x:Tag {label: 'evil'})"})
+        assert status == 403
+        assert chatiyp_small.store.node_count == before
+
+    def test_syntax_error_is_400(self, port):
+        status, payload = post(port, "/cypher", {"query": "MATCH"})
+        assert status == 400
+        assert "syntax" in payload["error"]
+
+    def test_runtime_error_is_400(self, port):
+        status, payload = post(
+            port, "/cypher", {"query": "MATCH (a:AS) RETURN $missing"}
+        )
+        assert status == 400
+
+    def test_missing_query_field(self, port):
+        status, _ = post(port, "/cypher", {"nope": 1})
+        assert status == 400
+
+    def test_bad_params_type(self, port):
+        status, _ = post(port, "/cypher", {"query": "RETURN 1", "params": [1]})
+        assert status == 400
+
+    def test_rows_capped(self, port):
+        status, payload = post(
+            port, "/cypher", {"query": "UNWIND range(1, 500) AS x RETURN x"}
+        )
+        assert status == 200
+        assert len(payload["rows"]) == 200
+        assert payload["row_count"] == 500
+
+
+class TestCookbookEndpoint:
+    def test_lists_queries(self, port):
+        status, payload = get(port, "/cookbook")
+        assert status == 200
+        names = {entry["name"] for entry in payload["queries"]}
+        assert "as_overview" in names
+        for entry in payload["queries"]:
+            assert entry["description"]
+            assert entry["cypher"].startswith("MATCH")
+
+    def test_cookbook_queries_runnable_via_cypher_endpoint(self, port):
+        _, payload = get(port, "/cookbook")
+        overview = next(e for e in payload["queries"] if e["name"] == "as_overview")
+        status, result = post(
+            port, "/cypher", {"query": overview["cypher"], "params": {"asn": 2497}}
+        )
+        assert status == 200
+        assert result["rows"][0]["asn"] == "2497"  # rendered values are strings
