@@ -3,12 +3,63 @@
 Throughput of the substrate layers every ChatIYP query crosses: Cypher
 point lookups, traversals and aggregations on the medium IYP graph, vector
 search over the description corpus, and the full pipeline ask.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_engine_perf.py`` — pytest-benchmark suite; the
+  engine-latency subset is also tagged ``-m perf_smoke``.
+* ``python benchmarks/bench_engine_perf.py --quick`` — standalone runner
+  that times the engine queries with the planner on and off and writes
+  ``BENCH_engine.json`` (median latencies plus speedups over the
+  pre-planner seed baselines).
 """
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # allow `python benchmarks/bench_engine_perf.py`
+    sys.path.insert(0, str(_SRC))
 
 import pytest
 
 from repro.cypher import CypherEngine
 from repro.rag import VectorContextRetriever
+
+#: The engine-latency suite shared by the pytest benchmarks and --quick mode.
+ENGINE_QUERIES = {
+    "point_lookup": "MATCH (a:AS {asn: 2497}) RETURN a.name",
+    "point_lookup_where": "MATCH (a:AS) WHERE a.asn = 2497 RETURN a.name",
+    "one_hop": "MATCH (:AS {asn: 2497})-[:ORIGINATE]->(p:Prefix) RETURN p.prefix",
+    "two_hop": (
+        "MATCH (:AS {asn: 2497})-[:PEERS_WITH]-(b:AS)-[:COUNTRY]->(c:Country) "
+        "RETURN DISTINCT c.country_code"
+    ),
+    "grouped_aggregation": (
+        "MATCH (a:AS)-[:COUNTRY]->(c:Country) "
+        "RETURN c.country_code AS cc, count(a) AS n ORDER BY n DESC LIMIT 10"
+    ),
+    "var_length": (
+        "MATCH (:AS {asn: 2497})-[:DEPENDS_ON*1..2]->(t:AS) "
+        "RETURN count(DISTINCT t) AS n"
+    ),
+}
+
+#: Median latencies (ms) measured on the pre-planner seed revision with the
+#: same interleaved batched-median protocol as --quick mode uses.  Recorded
+#: here so BENCH_engine.json can report speedups without rebuilding the seed.
+SEED_MEDIANS_MS = {
+    "point_lookup": 0.0138,
+    "point_lookup_where": 1.52,
+    "one_hop": 0.049,
+    "two_hop": 0.086,
+    "grouped_aggregation": 4.17,
+    "var_length": 0.092,
+}
 
 
 @pytest.fixture(scope="module")
@@ -21,45 +72,41 @@ def vector(chatiyp_medium):
     return VectorContextRetriever(chatiyp_medium.store, top_k=8)
 
 
+@pytest.mark.perf_smoke
 def test_perf_point_lookup(benchmark, engine):
-    result = benchmark(
-        engine.run, "MATCH (a:AS {asn: 2497}) RETURN a.name"
-    )
+    result = benchmark(engine.run, ENGINE_QUERIES["point_lookup"])
     assert len(result) == 1
 
 
+@pytest.mark.perf_smoke
+def test_perf_point_lookup_where(benchmark, engine):
+    # Same lookup phrased as a WHERE equality: exercises predicate pushdown
+    # into the property index instead of a label scan + filter.
+    result = benchmark(engine.run, ENGINE_QUERIES["point_lookup_where"])
+    assert len(result) == 1
+
+
+@pytest.mark.perf_smoke
 def test_perf_one_hop_traversal(benchmark, engine):
-    result = benchmark(
-        engine.run,
-        "MATCH (:AS {asn: 2497})-[:ORIGINATE]->(p:Prefix) RETURN p.prefix",
-    )
+    result = benchmark(engine.run, ENGINE_QUERIES["one_hop"])
     assert len(result) >= 1
 
 
+@pytest.mark.perf_smoke
 def test_perf_two_hop_traversal(benchmark, engine):
-    result = benchmark(
-        engine.run,
-        "MATCH (:AS {asn: 2497})-[:PEERS_WITH]-(b:AS)-[:COUNTRY]->(c:Country) "
-        "RETURN DISTINCT c.country_code",
-    )
+    result = benchmark(engine.run, ENGINE_QUERIES["two_hop"])
     assert len(result) >= 1
 
 
+@pytest.mark.perf_smoke
 def test_perf_grouped_aggregation(benchmark, engine):
-    result = benchmark(
-        engine.run,
-        "MATCH (a:AS)-[:COUNTRY]->(c:Country) "
-        "RETURN c.country_code AS cc, count(a) AS n ORDER BY n DESC LIMIT 10",
-    )
+    result = benchmark(engine.run, ENGINE_QUERIES["grouped_aggregation"])
     assert len(result) == 10
 
 
+@pytest.mark.perf_smoke
 def test_perf_var_length_expansion(benchmark, engine):
-    result = benchmark(
-        engine.run,
-        "MATCH (:AS {asn: 2497})-[:DEPENDS_ON*1..2]->(t:AS) "
-        "RETURN count(DISTINCT t) AS n",
-    )
+    result = benchmark(engine.run, ENGINE_QUERIES["var_length"])
     assert result.single()["n"] >= 1
 
 
@@ -80,3 +127,75 @@ def test_perf_full_pipeline_ask(benchmark, chatiyp_medium):
         chatiyp_medium.ask, "Which country is AS15169 registered in?"
     )
     assert response.answer
+
+
+def _median_latency_ms(engine: CypherEngine, query: str, batches: int, runs: int) -> float:
+    """Median over ``batches`` of the mean per-run latency of ``runs`` runs."""
+    engine.run(query)  # warm the AST/plan caches out of the measurement
+    samples = []
+    for _ in range(batches):
+        start = time.perf_counter()
+        for _ in range(runs):
+            engine.run(query)
+        samples.append((time.perf_counter() - start) / runs * 1000.0)
+    return statistics.median(samples)
+
+
+def run_quick(output: Path, batches: int = 10, runs: int = 20) -> dict:
+    """Time every engine query planner-on and planner-off; write ``output``."""
+    from repro.iyp.loader import load_dataset
+
+    store = load_dataset("medium").store
+    planned = CypherEngine(store)
+    unplanned = CypherEngine(store, planner=False)
+
+    results = {}
+    for name, query in ENGINE_QUERIES.items():
+        planned_ms = _median_latency_ms(planned, query, batches, runs)
+        unplanned_ms = _median_latency_ms(unplanned, query, batches, runs)
+        seed_ms = SEED_MEDIANS_MS.get(name)
+        results[name] = {
+            "query": query,
+            "median_ms": round(planned_ms, 4),
+            "median_ms_planner_off": round(unplanned_ms, 4),
+            "seed_median_ms": seed_ms,
+            "speedup_vs_seed": round(seed_ms / planned_ms, 2) if seed_ms else None,
+        }
+        print(
+            f"{name:22s} planner={planned_ms:8.4f} ms  "
+            f"off={unplanned_ms:8.4f} ms  seed={seed_ms} ms",
+            file=sys.stderr,
+        )
+
+    payload = {
+        "benchmark": "engine_perf_quick",
+        "dataset": "medium",
+        "protocol": f"median of {batches} batches x {runs} runs, warm caches",
+        "queries": results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the standalone engine-latency suite and write BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+    )
+    parser.add_argument("--batches", type=int, default=10)
+    parser.add_argument("--runs", type=int, default=20)
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("use --quick (or run this file under pytest for full benchmarks)")
+    run_quick(args.output, batches=args.batches, runs=args.runs)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,12 +17,28 @@ from .errors import (
 )
 from .executor import CypherEngine, execute
 from .parser import parse, parse_expression
+from .planner import (
+    AnchorPlan,
+    MatchPlan,
+    PartPlan,
+    PushedFilter,
+    extract_pushdown,
+    plan_match,
+    plan_query,
+)
 from .result import Record, ResultSet, render_value
 from .safety import is_read_only
 
 __all__ = [
     "CypherEngine",
     "execute",
+    "AnchorPlan",
+    "MatchPlan",
+    "PartPlan",
+    "PushedFilter",
+    "extract_pushdown",
+    "plan_match",
+    "plan_query",
     "parse",
     "parse_expression",
     "Record",

@@ -1,17 +1,22 @@
 """Query executor: evaluates a parsed Cypher AST against a GraphStore.
 
 Execution is a pipeline of clause operators over *rows* (variable-binding
-dicts), in textual clause order — which for the query shapes IYP uses is
-also a perfectly good physical plan.  Pattern matching anchors on the most
-selective end of each pattern part and enforces Cypher's
-relationship-uniqueness rule within a MATCH.
+dicts), in textual clause order.  MATCH clauses are planned by
+:mod:`repro.cypher.planner` against live graph statistics: the planner
+picks the cheapest anchor access path per pattern part, decides traversal
+direction, and pushes WHERE equality/IN predicates down into indexed
+lookups and bind-time filters.  Plans (and parsed ASTs) are cached in a
+bounded LRU keyed by query text; ``planner=False`` is the escape hatch
+that falls back to the naive shape-only heuristics.
 
 Entry point: :class:`CypherEngine` (``engine.run(query, **params)``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional, Union
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Union
 
 from ..graph.model import Node, Path, Relationship
 from ..graph.store import GraphStore
@@ -25,12 +30,14 @@ from .functions import (
     regex_match,
 )
 from .parser import parse
+from .planner import AnchorPlan, MatchPlan, PartPlan, PushedFilter, plan_query
 from .result import Record, ResultSet
 from .values import cypher_compare, cypher_equals, is_truthy, sort_key
 
 __all__ = ["CypherEngine", "execute"]
 
 Row = dict[str, Any]
+Filters = dict[str, tuple[PushedFilter, ...]]
 
 
 def execute(store: GraphStore, query: str, **params: Any) -> ResultSet:
@@ -38,31 +45,107 @@ def execute(store: GraphStore, query: str, **params: Any) -> ResultSet:
     return CypherEngine(store).run(query, **params)
 
 
+class _LRUCache(OrderedDict):
+    """Bounded mapping with least-recently-used eviction.
+
+    A thin :class:`OrderedDict` wrapper: hits move to the back, inserts
+    evict from the front once ``capacity`` is exceeded.  Sustained mixed
+    workloads stay warm instead of thrashing on a clear-everything reset.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        super().__init__()
+        self.capacity = capacity
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        if key not in self:
+            return default
+        self.move_to_end(key)
+        return super().__getitem__(key)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.capacity:
+            self.popitem(last=False)
+
+
+@dataclass
+class _PlanEntry:
+    """Cached plans for one query text, valid for one statistics version.
+
+    Holds the tree so the ``id(clause)`` plan keys can never dangle.
+    """
+
+    tree: ast.Query
+    stats_version: int
+    plans: dict[int, MatchPlan] = field(default_factory=dict)
+
+
 class CypherEngine:
     """Executes Cypher text against one :class:`GraphStore`.
 
-    The engine caches parsed ASTs keyed by query text, so repeated
-    execution of generated queries (the RAG hot path) skips the parser.
+    The engine caches parsed ASTs and their match plans keyed by query
+    text (bounded LRUs), so repeated execution of generated queries (the
+    RAG hot path) skips both the parser and the planner.  ``planner=False``
+    disables cost-based planning entirely — the escape hatch used to
+    verify planned execution is semantics-preserving.
     """
 
-    def __init__(self, store: GraphStore, max_var_length: int = 32) -> None:
+    def __init__(
+        self,
+        store: GraphStore,
+        max_var_length: int = 32,
+        planner: bool = True,
+        cache_size: int = 1024,
+    ) -> None:
         self.store = store
         self.max_var_length = max_var_length
-        self._ast_cache: dict[str, ast.Query] = {}
+        self.planner = planner
+        self._ast_cache: _LRUCache = _LRUCache(cache_size)
+        self._plan_cache: _LRUCache = _LRUCache(cache_size)
+        # id(clause) -> (clause, items, keys, aggregated, grouping_indices);
+        # holding the clause reference keeps its id stable for the cache key
+        self._projection_meta: dict[int, tuple] = {}
 
     def run(self, query: str, **params: Any) -> ResultSet:
-        """Parse (with caching) and execute ``query``."""
+        """Parse and plan (both cached) then execute ``query``."""
         tree = self._ast_cache.get(query)
         if tree is None:
             tree = parse(query)
-            if len(self._ast_cache) > 1024:
-                self._ast_cache.clear()
             self._ast_cache[query] = tree
-        return self.run_ast(tree, params)
+        plans = self._plans_for(query, tree)
+        return self._execute(tree, params, plans)
 
     def run_ast(self, tree: ast.Query, params: dict[str, Any] | None = None) -> ResultSet:
-        """Execute an already-parsed query."""
-        context = _ExecutionContext(self.store, params or {}, self.max_var_length)
+        """Execute an already-parsed query (plans computed, not cached)."""
+        plans = plan_query(tree, self.store.statistics()) if self.planner else None
+        return self._execute(tree, params or {}, plans)
+
+    def _plans_for(self, query: str, tree: ast.Query) -> Optional[dict[int, MatchPlan]]:
+        """Cached match plans for ``query``, replanned when the graph changed."""
+        if not self.planner:
+            return None
+        version = self.store.stats_version
+        entry: Optional[_PlanEntry] = self._plan_cache.get(query)
+        if entry is None or entry.tree is not tree or entry.stats_version != version:
+            entry = _PlanEntry(
+                tree=tree,
+                stats_version=version,
+                plans=plan_query(tree, self.store.statistics()),
+            )
+            self._plan_cache[query] = entry
+        return entry.plans
+
+    def _execute(
+        self,
+        tree: ast.Query,
+        params: dict[str, Any],
+        plans: Optional[dict[int, MatchPlan]],
+    ) -> ResultSet:
+        context = _ExecutionContext(
+            self.store, params, self.max_var_length, plans, self._projection_meta
+        )
         if isinstance(tree, ast.UnionQuery):
             return self._run_union(tree, context)
         return self._run_single(tree, context)
@@ -71,11 +154,13 @@ class CypherEngine:
         """Execute ``query`` and report rows flowing out of every clause.
 
         A poor man's ``PROFILE``: returns the normal result plus a text
-        report with the intermediate row count after each clause — the
-        first tool to reach for when a generated query is slow or empty.
+        report with the intermediate row count after each clause — for
+        planned MATCH clauses including the estimated row count, so
+        cardinality misestimates are visible at a glance.
         """
         tree = parse(query)
-        context = _ExecutionContext(self.store, params or {}, self.max_var_length)
+        plans = plan_query(tree, self.store.statistics()) if self.planner else None
+        context = _ExecutionContext(self.store, params or {}, self.max_var_length, plans)
         lines: list[str] = []
         queries = tree.queries if isinstance(tree, ast.UnionQuery) else (tree,)
         all_results: list[ResultSet] = []
@@ -85,7 +170,12 @@ class CypherEngine:
             rows: list[Row] = [{}]
             final: Optional[ResultSet] = None
             for clause in single.clauses:
-                label = self._explain_clause(clause)[0]
+                label = self._explain_clause(clause, plans)[0]
+                estimate = ""
+                if plans is not None and isinstance(clause, ast.MatchClause):
+                    plan = plans.get(id(clause))
+                    if plan is not None:
+                        estimate = f" (est≈{plan.est_rows:.0f})"
                 if isinstance(clause, ast.MatchClause):
                     rows = context.apply_match(rows, clause)
                 elif isinstance(clause, ast.UnwindClause):
@@ -105,7 +195,7 @@ class CypherEngine:
                     rows = context.apply_delete(rows, clause)
                 elif isinstance(clause, ast.RemoveClause):
                     rows = context.apply_remove(rows, clause)
-                lines.append(f"  {label:60s} -> {len(rows)} rows")
+                lines.append(f"  {label:60s} -> {len(rows)} rows{estimate}")
             all_results.append(final if final is not None else ResultSet([], []))
         if len(all_results) == 1:
             result = all_results[0]
@@ -127,29 +217,40 @@ class CypherEngine:
         return result, "\n".join(lines)
 
     def explain(self, query: str) -> str:
-        """Describe how ``query`` would execute (clause pipeline + anchors).
+        """Describe how ``query`` would execute (clause pipeline + plans).
 
-        A poor man's ``EXPLAIN``: no cost model, but it shows the clause
-        operators in order and, for each MATCH pattern part, which end the
-        matcher anchors on and why.
+        With the planner on, each MATCH pattern part shows the chosen
+        anchor, its access path (index lookup, label scan, ...), the
+        estimated row count and the expansion direction, plus any WHERE
+        predicates pushed down to bind time.
         """
         tree = parse(query)
+        plans = plan_query(tree, self.store.statistics()) if self.planner else None
         queries = tree.queries if isinstance(tree, ast.UnionQuery) else (tree,)
         lines = []
         for qindex, single in enumerate(queries):
             if len(queries) > 1:
                 lines.append(f"UNION branch {qindex + 1}:")
             for clause in single.clauses:
-                lines.extend(self._explain_clause(clause))
+                lines.extend(self._explain_clause(clause, plans))
         return "\n".join(lines)
 
-    def _explain_clause(self, clause: ast.Clause) -> list[str]:
+    def _explain_clause(
+        self, clause: ast.Clause, plans: Optional[dict[int, MatchPlan]] = None
+    ) -> list[str]:
         name = type(clause).__name__.replace("Clause", "")
         if isinstance(clause, ast.MatchClause):
             prefix = "OptionalMatch" if clause.optional else "Match"
+            plan = plans.get(id(clause)) if plans is not None else None
             lines = []
-            for part in clause.pattern.parts:
-                lines.append(f"{prefix} {self._explain_part(part)}")
+            for index, part in enumerate(clause.pattern.parts):
+                part_plan = plan.parts[index] if plan is not None else None
+                lines.append(f"{prefix} {self._explain_part(part, part_plan)}")
+            if plan is not None and plan.filters:
+                for variable in sorted(plan.filters):
+                    for filt in plan.filters[variable]:
+                        op = "=" if filt.kind == "eq" else "IN"
+                        lines.append(f"  Pushdown {variable}.{filt.key} {op} ...")
             if clause.where is not None:
                 lines.append("  Filter (WHERE)")
             return lines
@@ -169,12 +270,20 @@ class CypherEngine:
             return [f"{name} {len(clause.items)} items{suffix}"]
         return [name]
 
-    def _explain_part(self, part: ast.PatternPart) -> str:
+    def _explain_part(self, part: ast.PatternPart, plan: Optional[PartPlan] = None) -> str:
         nodes = part.nodes
         if part.shortest is not None:
             kind = "shortestPath" if part.shortest == "single" else "allShortestPaths"
             return f"{kind} BFS between {self._node_text(nodes[0])} and {self._node_text(nodes[-1])}"
         first, last = nodes[0], nodes[-1]
+        if plan is not None:
+            anchor_node = last if plan.reverse else first
+            return (
+                f"pattern({len(nodes)} nodes, {part.hop_count} hops) "
+                f"anchor={self._node_text(anchor_node)} via {plan.anchor.describe()} "
+                f"est≈{plan.anchor.est_rows:.0f}, expand {plan.direction} "
+                f"est≈{plan.est_rows:.0f} rows"
+            )
         empty_row: Row = {}
         reverse = len(part.elements) > 1 and (
             _node_selectivity(last, empty_row) > _node_selectivity(first, empty_row)
@@ -249,9 +358,12 @@ class CypherEngine:
             else:  # pragma: no cover - parser cannot produce others
                 raise CypherRuntimeError(f"unsupported clause {clause!r}")
         if final is None:
-            final = ResultSet([], [], **context.counters())
-        else:
-            final = ResultSet(final.keys, final.records, **context.counters())
+            final = ResultSet([], [])
+        final.nodes_created = context.nodes_created
+        final.relationships_created = context.relationships_created
+        final.properties_set = context.properties_set
+        final.nodes_deleted = context.nodes_deleted
+        final.relationships_deleted = context.relationships_deleted
         return final
 
 
@@ -260,13 +372,25 @@ class CypherEngine:
 # ---------------------------------------------------------------------------
 
 class _ExecutionContext:
-    """Holds the store, parameters and write counters for one execution."""
+    """Holds the store, parameters, plans and write counters for one run."""
 
-    def __init__(self, store: GraphStore, params: dict[str, Any], max_var_length: int):
+    def __init__(
+        self,
+        store: GraphStore,
+        params: dict[str, Any],
+        max_var_length: int,
+        plans: Optional[dict[int, MatchPlan]] = None,
+        projection_meta: Optional[dict[int, tuple]] = None,
+    ):
         self.store = store
         self.params = params
         self.max_var_length = max_var_length
+        self.plans = plans
         self.evaluator = _Evaluator(self)
+        # id(part) -> whether the part needs used-relationship tracking
+        self._part_unique: dict[int, bool] = {}
+        # engine-shared projection metadata cache (see CypherEngine)
+        self._projection_meta = projection_meta if projection_meta is not None else {}
         self.nodes_created = 0
         self.relationships_created = 0
         self.properties_set = 0
@@ -286,66 +410,152 @@ class _ExecutionContext:
 
     def apply_match(self, rows: list[Row], clause: ast.MatchClause) -> list[Row]:
         output: list[Row] = []
+        plan = self.plans.get(id(clause)) if self.plans is not None else None
+        where = clause.where
+        if not clause.optional:
+            evaluate = self.evaluator.evaluate
+            for row in rows:
+                if where is None:
+                    output.extend(self.match_pattern(clause.pattern, row, plan))
+                else:
+                    for matched in self.match_pattern(clause.pattern, row, plan):
+                        if is_truthy(evaluate(where, matched)) is True:
+                            output.append(matched)
+            return output
         new_variables = _pattern_variables(clause.pattern)
         for row in rows:
             matches = []
-            for matched in self.match_pattern(clause.pattern, row):
-                if clause.where is not None:
-                    if is_truthy(self.evaluator.evaluate(clause.where, matched)) is not True:
+            for matched in self.match_pattern(clause.pattern, row, plan):
+                if where is not None:
+                    if is_truthy(self.evaluator.evaluate(where, matched)) is not True:
                         continue
                 matches.append(matched)
             if matches:
                 output.extend(matches)
-            elif clause.optional:
+            else:
                 padded = dict(row)
                 for name in new_variables:
                     padded.setdefault(name, None)
                 output.append(padded)
         return output
 
-    def match_pattern(self, pattern: ast.Pattern, row: Row) -> Iterator[Row]:
+    def match_pattern(
+        self, pattern: ast.Pattern, row: Row, plan: Optional[MatchPlan] = None
+    ) -> Iterable[Row]:
         """Match all parts of ``pattern`` (cartesian, rel-unique) from ``row``."""
+        filters = plan.filters if plan is not None else None
+        if len(pattern.parts) == 1:
+            # Single-part fast path: no cross-part rel-uniqueness to enforce,
+            # so the used-set only matters within the part itself.
+            part_plan = plan.parts[0] if plan is not None else None
+            return [
+                matched
+                for matched, _ in self._match_part(
+                    pattern.parts[0], row, frozenset(), part_plan, filters,
+                    update_used=False,
+                )
+            ]
 
         def match_parts(index: int, current: Row, used: frozenset[int]) -> Iterator[Row]:
             if index == len(pattern.parts):
                 yield current
                 return
-            for matched, used_after in self._match_part(pattern.parts[index], current, used):
+            part_plan = plan.parts[index] if plan is not None else None
+            for matched, used_after in self._match_part(
+                pattern.parts[index], current, used, part_plan, filters
+            ):
                 yield from match_parts(index + 1, matched, used_after)
 
-        yield from match_parts(0, row, frozenset())
+        return match_parts(0, row, frozenset())
+
+    def _part_needs_used(self, part: ast.PatternPart) -> bool:
+        """Whether matching ``part`` must maintain the used-relationship set.
+
+        Cypher's relationship-uniqueness only bites when two hops could bind
+        the same relationship: with a single hop, or hops whose declared
+        type sets are pairwise disjoint, duplicates are impossible and the
+        per-step frozenset unions can be skipped entirely.
+        """
+        cached = self._part_unique.get(id(part))
+        if cached is not None:
+            return cached
+        rel_patterns = [
+            element
+            for element in part.elements
+            if isinstance(element, ast.RelPattern)
+        ]
+        needs = True
+        if len(rel_patterns) <= 1:
+            needs = False
+        elif all(rel.types for rel in rel_patterns):
+            all_types = [t for rel in rel_patterns for t in rel.types]
+            needs = len(all_types) != len(set(all_types))
+        self._part_unique[id(part)] = needs
+        return needs
 
     def _match_part(
-        self, part: ast.PatternPart, row: Row, used: frozenset[int]
-    ) -> Iterator[tuple[Row, frozenset[int]]]:
+        self,
+        part: ast.PatternPart,
+        row: Row,
+        used: frozenset[int],
+        plan: Optional[PartPlan] = None,
+        filters: Optional[Filters] = None,
+        update_used: bool = True,
+    ) -> Iterable[tuple[Row, frozenset[int]]]:
         if part.shortest is not None:
-            yield from self._match_shortest(part, row, used)
-            return
+            return self._match_shortest(part, row, used, filters)
         elements = list(part.elements)
-        if len(elements) > 1 and self._should_reverse(elements, row):
-            elements = _reverse_elements(elements)
-            reversed_part = True
+        if plan is not None:
+            reversed_part = plan.reverse
         else:
-            reversed_part = False
+            reversed_part = len(elements) > 1 and self._should_reverse(elements, row)
+        if reversed_part:
+            elements = _reverse_elements(elements)
 
         first = elements[0]
         assert isinstance(first, ast.NodePattern)
-        for start in self._node_candidates(first, row):
-            start_row = self._bind_node(first, start, row)
+        anchor = plan.anchor if plan is not None else None
+        track_path = part.path_variable is not None
+        if update_used:
+            maintain_used = True
+        elif plan is not None:
+            maintain_used = plan.needs_used
+        else:
+            maintain_used = self._part_needs_used(part)
+        chained: list[Any] = []
+        for start in self._node_candidates(first, row, anchor):
+            start_row = self._bind_node(first, start, row, filters)
             if start_row is None:
                 continue
-            for final_row, used_after, nodes, rels in self._match_chain(
-                elements, 1, start_row, used, [start], []
-            ):
-                if part.path_variable is not None:
-                    path_nodes = list(reversed(nodes)) if reversed_part else nodes
-                    path_rels = list(reversed(rels)) if reversed_part else rels
-                    final_row = dict(final_row)
-                    final_row[part.path_variable] = Path(path_nodes, path_rels)
-                yield final_row, used_after
+            self._match_chain(
+                elements,
+                1,
+                start_row,
+                used,
+                start,
+                [start] if track_path else None,
+                [] if track_path else None,
+                filters,
+                maintain_used,
+                chained,
+            )
+        if not track_path:
+            return chained
+        results: list[tuple[Row, frozenset[int]]] = []
+        for final_row, used_after, nodes, rels in chained:
+            path_nodes = list(reversed(nodes)) if reversed_part else nodes
+            path_rels = list(reversed(rels)) if reversed_part else rels
+            final_row = dict(final_row)
+            final_row[part.path_variable] = Path(path_nodes, path_rels)
+            results.append((final_row, used_after))
+        return results
 
     def _match_shortest(
-        self, part: ast.PatternPart, row: Row, used: frozenset[int]
+        self,
+        part: ast.PatternPart,
+        row: Row,
+        used: frozenset[int],
+        filters: Optional[Filters] = None,
     ) -> Iterator[tuple[Row, frozenset[int]]]:
         """Match ``shortestPath((a)-[...]-(b))`` via breadth-first search.
 
@@ -366,11 +576,11 @@ class _ExecutionContext:
                 min_hops=1, max_hops=1, var_length=True,
             )
         for start in self._node_candidates(start_pattern, row):
-            start_row = self._bind_node(start_pattern, start, row)
+            start_row = self._bind_node(start_pattern, start, row, filters)
             if start_row is None:
                 continue
             for end in self._node_candidates(end_pattern, start_row):
-                end_row = self._bind_node(end_pattern, end, start_row)
+                end_row = self._bind_node(end_pattern, end, start_row, filters)
                 if end_row is None:
                     continue
                 for nodes, rels in self._bfs_shortest(
@@ -408,7 +618,7 @@ class _ExecutionContext:
             next_frontier: dict[int, list[tuple[list[Node], list[Relationship]]]] = {}
             for node_id, partials in frontier.items():
                 node = self.store.node(node_id)
-                for rel in self.store.relationships_of(
+                for rel in self.store.adjacent_relationships(
                     node_id, rel_pattern.direction, rel_pattern.types or None
                 ):
                     if rel_pattern.direction == "out" and rel.start_id != node_id:
@@ -447,17 +657,30 @@ class _ExecutionContext:
         index: int,
         row: Row,
         used: frozenset[int],
-        nodes: list[Node],
-        rels: list[Relationship],
-    ) -> Iterator[tuple[Row, frozenset[int], list[Node], list[Relationship]]]:
+        current: Node,
+        nodes: Optional[list[Node]],
+        rels: Optional[list[Relationship]],
+        filters: Optional[Filters],
+        maintain_used: bool,
+        out: list[Any],
+    ) -> None:
+        """Recursively match the rel/node chain, appending results to ``out``.
+
+        Appends ``(row, used)`` tuples, or ``(row, used, nodes, rels)`` when
+        path tracking is on (``nodes``/``rels`` non-None).  Building a list
+        instead of yielding avoids a generator resumption per consumer level
+        on the hot path.
+        """
         if index >= len(elements):
-            yield row, used, nodes, rels
+            if nodes is None:
+                out.append((row, used))
+            else:
+                out.append((row, used, nodes, rels))
             return
         rel_pattern = elements[index]
         node_pattern = elements[index + 1]
         assert isinstance(rel_pattern, ast.RelPattern)
         assert isinstance(node_pattern, ast.NodePattern)
-        current = nodes[-1]
 
         if rel_pattern.var_length:
             steps = self._expand_var_length(rel_pattern, current, row, used)
@@ -465,7 +688,10 @@ class _ExecutionContext:
             steps = self._expand_single(rel_pattern, current, row, used)
 
         for step_rels, end_node in steps:
-            new_used = used | {rel.rel_id for rel in step_rels}
+            if maintain_used:
+                new_used = used | {rel.rel_id for rel in step_rels}
+            else:
+                new_used = used
             if rel_pattern.variable is not None:
                 bound_value: Any = list(step_rels) if rel_pattern.var_length else step_rels[0]
                 existing = row.get(rel_pattern.variable)
@@ -474,14 +700,25 @@ class _ExecutionContext:
                         continue
                     rel_row = row
                 else:
+                    if (
+                        filters
+                        and not rel_pattern.var_length
+                        and not self._passes_filters(
+                            step_rels[0].properties, filters.get(rel_pattern.variable)
+                        )
+                    ):
+                        continue
                     rel_row = dict(row)
                     rel_row[rel_pattern.variable] = bound_value
             else:
                 rel_row = row
-            end_row = self._bind_node(node_pattern, end_node, rel_row)
+            end_row = self._bind_node(node_pattern, end_node, rel_row, filters)
             if end_row is None:
                 continue
-            if rel_pattern.var_length:
+            if nodes is None:
+                next_nodes = None
+                next_rels = None
+            elif rel_pattern.var_length:
                 # Include intermediate nodes so bound paths are complete.
                 step_nodes = []
                 cursor = current
@@ -493,15 +730,21 @@ class _ExecutionContext:
                 next_nodes = nodes + step_nodes
                 if not step_rels and end_node.node_id != current.node_id:
                     next_nodes = nodes + [end_node]
+                next_rels = rels + list(step_rels)
             else:
                 next_nodes = nodes + [end_node]
-            yield from self._match_chain(
+                next_rels = rels + list(step_rels)
+            self._match_chain(
                 elements,
                 index + 2,
                 end_row,
                 new_used,
+                end_node,
                 next_nodes,
-                rels + list(step_rels),
+                next_rels,
+                filters,
+                maintain_used,
+                out,
             )
 
     def _expand_single(
@@ -510,22 +753,24 @@ class _ExecutionContext:
         current: Node,
         row: Row,
         used: frozenset[int],
-    ) -> Iterator[tuple[list[Relationship], Node]]:
+    ) -> list[tuple[tuple[Relationship, ...], Node]]:
         direction = rel_pattern.direction
         types = rel_pattern.types or None
-        for rel in self.store.relationships_of(current.node_id, direction, types):
+        node_id = current.node_id
+        nodes = self.store._nodes
+        check_props = bool(rel_pattern.properties)
+        steps: list[tuple[tuple[Relationship, ...], Node]] = []
+        # No direction re-check needed: the adjacency index is maintained per
+        # direction, so an "out" query only ever returns rels starting here
+        # (self-loops included on both sides).
+        for rel in self.store.adjacent_relationships(node_id, direction, types):
             if rel.rel_id in used:
                 continue
-            if not self._rel_properties_match(rel_pattern, rel, row):
+            if check_props and not self._rel_properties_match(rel_pattern, rel, row):
                 continue
-            other_id = rel.other_end(current.node_id)
-            # Self-loops satisfy either direction; for directed patterns
-            # make sure the edge actually points the right way.
-            if direction == "out" and rel.start_id != current.node_id:
-                continue
-            if direction == "in" and rel.end_id != current.node_id:
-                continue
-            yield [rel], self.store.node(other_id)
+            other = rel.end_id if rel.start_id == node_id else rel.start_id
+            steps.append(((rel,), nodes[other]))
+        return steps
 
     def _expand_var_length(
         self,
@@ -546,7 +791,7 @@ class _ExecutionContext:
         ) -> Iterator[tuple[list[Relationship], Node]]:
             if len(taken) >= max_hops:
                 return
-            for rel in self.store.relationships_of(
+            for rel in self.store.adjacent_relationships(
                 node.node_id, rel_pattern.direction, rel_pattern.types or None
             ):
                 if rel.rel_id in used or rel.rel_id in taken_ids:
@@ -574,8 +819,18 @@ class _ExecutionContext:
                 return False
         return True
 
-    def _node_candidates(self, node_pattern: ast.NodePattern, row: Row) -> Iterator[Node]:
-        """Candidate nodes for the anchor position of a pattern part."""
+    def _node_candidates(
+        self,
+        node_pattern: ast.NodePattern,
+        row: Row,
+        anchor: Optional["AnchorPlan"] = None,
+    ) -> Iterator[Node]:
+        """Candidate nodes for the anchor position of a pattern part.
+
+        With a planned anchor, follows its access path; every candidate is
+        still fully verified by :meth:`_bind_node`, so a stale or
+        suboptimal plan can never change results.
+        """
         if node_pattern.variable is not None and node_pattern.variable in row:
             bound = row[node_pattern.variable]
             if bound is None:
@@ -586,18 +841,58 @@ class _ExecutionContext:
                 )
             yield bound
             return
-        # Use a property-equality lookup when available (index or label scan).
+        if anchor is not None and anchor.kind in ("property", "property-in"):
+            seen: set[int] = set()
+            for expr in anchor.values:
+                value = self.evaluator.evaluate(expr, row)
+                for node in self.store.nodes_by_property(anchor.label, anchor.key, value):
+                    if node.node_id not in seen:
+                        seen.add(node.node_id)
+                        yield node
+            return
+        if anchor is not None and anchor.kind == "label":
+            yield from self.store.nodes_by_label(anchor.label)
+            return
+        if anchor is not None and anchor.kind == "all":
+            yield from self.store.all_nodes()
+            return
+        # Unplanned path: property-equality lookup when available, preferring
+        # a (label, key) pair that actually has a property index.
         if node_pattern.labels and node_pattern.properties:
-            key, expr = node_pattern.properties[0]
+            key, expr = self._pick_lookup_property(node_pattern)
             value = self.evaluator.evaluate(expr, row)
-            yield from self.store.nodes_by_property(node_pattern.labels[0], key, value)
+            label = self._pick_lookup_label(node_pattern, key)
+            yield from self.store.nodes_by_property(label, key, value)
             return
         if node_pattern.labels:
             yield from self.store.nodes_by_label(node_pattern.labels[0])
             return
         yield from self.store.all_nodes()
 
-    def _bind_node(self, node_pattern: ast.NodePattern, node: Node, row: Row) -> Optional[Row]:
+    def _pick_lookup_property(
+        self, node_pattern: ast.NodePattern
+    ) -> tuple[str, ast.Expr]:
+        """The inline property to look up by: an indexed one when possible."""
+        for key, expr in node_pattern.properties:
+            for label in node_pattern.labels:
+                if self.store.has_property_index(label, key):
+                    return key, expr
+        return node_pattern.properties[0]
+
+    def _pick_lookup_label(self, node_pattern: ast.NodePattern, key: str) -> str:
+        """The label to pair with ``key`` (the indexed one when possible)."""
+        for label in node_pattern.labels:
+            if self.store.has_property_index(label, key):
+                return label
+        return node_pattern.labels[0]
+
+    def _bind_node(
+        self,
+        node_pattern: ast.NodePattern,
+        node: Node,
+        row: Row,
+        filters: Optional[Filters] = None,
+    ) -> Optional[Row]:
         """Check constraints of ``node_pattern`` against ``node``; bind if ok."""
         for label in node_pattern.labels:
             if label not in node.labels:
@@ -606,6 +901,12 @@ class _ExecutionContext:
             wanted = self.evaluator.evaluate(expr, row)
             if cypher_equals(node.properties.get(key), wanted) is not True:
                 return None
+        if (
+            filters
+            and node_pattern.variable is not None
+            and not self._passes_filters(node.properties, filters.get(node_pattern.variable))
+        ):
+            return None
         if node_pattern.variable is None:
             return row
         if node_pattern.variable in row:
@@ -616,6 +917,40 @@ class _ExecutionContext:
         new_row = dict(row)
         new_row[node_pattern.variable] = node
         return new_row
+
+    def _passes_filters(
+        self,
+        properties: dict[str, Any],
+        filters: Optional[tuple[PushedFilter, ...]],
+    ) -> bool:
+        """Apply pushed WHERE equality/IN filters to an entity's properties.
+
+        Mirrors WHERE ternary logic: a row survives only when the pushed
+        conjunct would evaluate to true.  ``IN $param`` with a non-list
+        parameter is left for the residual WHERE to raise on.
+        """
+        if not filters:
+            return True
+        for filt in filters:
+            actual = properties.get(filt.key)
+            if filt.kind == "eq":
+                wanted = self.evaluator.evaluate(filt.values[0], {})
+                if cypher_equals(actual, wanted) is not True:
+                    return False
+                continue
+            candidates = self._filter_candidates(filt)
+            if candidates is None:
+                continue
+            if not any(cypher_equals(actual, value) is True for value in candidates):
+                return False
+        return True
+
+    def _filter_candidates(self, filt: PushedFilter) -> Optional[list[Any]]:
+        """Resolve an IN filter's candidate values (None = cannot filter)."""
+        if len(filt.values) == 1 and isinstance(filt.values[0], ast.Parameter):
+            value = self.evaluator.evaluate(filt.values[0], {})
+            return value if isinstance(value, list) else None
+        return [self.evaluator.evaluate(expr, {}) for expr in filt.values]
 
     def _should_reverse(
         self, elements: list[Union[ast.NodePattern, ast.RelPattern]], row: Row
@@ -658,24 +993,43 @@ class _ExecutionContext:
         return self._project(rows, clause)
 
     def _project(self, rows: list[Row], clause: ast.ProjectionClause) -> ResultSet:
-        items = list(clause.items)
-        if clause.star:
-            in_scope = sorted({name for row in rows for name in row})
-            star_items = [
-                ast.ReturnItem(expression=ast.Variable(name), alias=name)
-                for name in in_scope
+        # Projection metadata (output names, aggregate detection) only
+        # depends on the clause, not the rows; cache it per clause so
+        # repeated runs of a cached AST skip the re-derivation.  ``RETURN *``
+        # depends on row scope and is never cached.
+        meta = None if clause.star else self._projection_meta.get(id(clause))
+        if meta is not None:
+            _, items, keys, aggregated, grouping_indices = meta
+        else:
+            items = list(clause.items)
+            if clause.star:
+                in_scope = sorted({name for row in rows for name in row})
+                star_items = [
+                    ast.ReturnItem(expression=ast.Variable(name), alias=name)
+                    for name in in_scope
+                ]
+                items = star_items + items
+            if not items:
+                raise CypherSyntaxError("projection requires at least one item")
+            keys = [item.output_name() for item in items]
+            aggregated = any(_contains_aggregate(item.expression) for item in items)
+            grouping_indices = [
+                i
+                for i, item in enumerate(items)
+                if not _contains_aggregate(item.expression)
             ]
-            items = star_items + items
-        if not items:
-            raise CypherSyntaxError("projection requires at least one item")
-        keys = [item.output_name() for item in items]
-        aggregated = any(_contains_aggregate(item.expression) for item in items)
+            if not clause.star:
+                if len(self._projection_meta) > 4096:
+                    self._projection_meta.clear()
+                self._projection_meta[id(clause)] = (
+                    clause, items, keys, aggregated, grouping_indices,
+                )
 
         # Each produced row is (values, order_env_rows) where order_env_rows
         # are the source rows ORDER BY may need (group rows when aggregated).
         produced: list[tuple[list[Any], list[Row]]] = []
         if aggregated:
-            produced = self._project_grouped(rows, items)
+            produced = self._project_grouped(rows, items, grouping_indices)
         else:
             for row in rows:
                 values = [self.evaluator.evaluate(item.expression, row) for item in items]
@@ -707,11 +1061,17 @@ class _ExecutionContext:
         return ResultSet(keys, records)
 
     def _project_grouped(
-        self, rows: list[Row], items: list[ast.ReturnItem]
+        self,
+        rows: list[Row],
+        items: list[ast.ReturnItem],
+        grouping_indices: Optional[list[int]] = None,
     ) -> list[tuple[list[Any], list[Row]]]:
-        grouping_indices = [
-            i for i, item in enumerate(items) if not _contains_aggregate(item.expression)
-        ]
+        if grouping_indices is None:
+            grouping_indices = [
+                i
+                for i, item in enumerate(items)
+                if not _contains_aggregate(item.expression)
+            ]
         groups: dict[Any, tuple[list[Any], list[Row]]] = {}
         order: list[Any] = []
         for row in rows:
@@ -766,6 +1126,14 @@ class _ExecutionContext:
                     sort_parts.append(_Descending(key))
                 else:
                     sort_parts.append(key)
+            # Canonical tie-break over the projected values: rows that compare
+            # equal on every ORDER BY key would otherwise keep match-order,
+            # which depends on the chosen plan.  This keeps ordered output
+            # identical whether the planner is on or off.
+            try:
+                sort_parts.append(tuple(sort_key(value) for value in values))
+            except CypherTypeError:
+                sort_parts.append(())
             return tuple(sort_parts)
 
         return sorted(produced, key=order_values)
@@ -964,14 +1332,22 @@ class _ExecutionContext:
 class _Evaluator:
     """Evaluates expression ASTs against a row environment."""
 
+    # expression class -> unbound handler, shared across instances so the
+    # per-call getattr string formatting happens once per AST node type
+    _dispatch: dict[type, Any] = {}
+
     def __init__(self, context: _ExecutionContext) -> None:
         self.context = context
 
     def evaluate(self, expr: ast.Expr, row: Row) -> Any:
-        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        cls = expr.__class__
+        method = _Evaluator._dispatch.get(cls)
         if method is None:
-            raise CypherRuntimeError(f"cannot evaluate {type(expr).__name__}")
-        return method(expr, row)
+            method = getattr(_Evaluator, f"_eval_{cls.__name__}", None)
+            if method is None:
+                raise CypherRuntimeError(f"cannot evaluate {cls.__name__}")
+            _Evaluator._dispatch[cls] = method
+        return method(self, expr, row)
 
     # -- atoms ----------------------------------------------------------
 
@@ -989,7 +1365,11 @@ class _Evaluator:
         return row[expr.name]
 
     def _eval_PropertyAccess(self, expr: ast.PropertyAccess, row: Row) -> Any:
-        subject = self.evaluate(expr.subject, row)
+        subject_expr = expr.subject
+        if subject_expr.__class__ is ast.Variable:
+            subject = self._eval_Variable(subject_expr, row)
+        else:
+            subject = self.evaluate(subject_expr, row)
         if subject is None:
             return None
         if isinstance(subject, (Node, Relationship)):
@@ -1393,6 +1773,9 @@ def _concat_text(value: Any) -> str:
 
 def _freeze(value: Any) -> Any:
     """Convert a value into a hashable group/dedup key."""
+    cls = value.__class__
+    if cls is str or cls is int or cls is bool or value is None:
+        return value
     if isinstance(value, list):
         return ("list", tuple(_freeze(item) for item in value))
     if isinstance(value, dict):

@@ -15,6 +15,7 @@ narrow linguistic variation).
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 import numpy as np
 
@@ -24,12 +25,28 @@ from ..nlp.tokenize import word_tokenize
 __all__ = ["HashingEmbedding", "ContextualEmbedding", "cosine_similarity"]
 
 
+@lru_cache(maxsize=131072)
 def _stable_bucket(token: str, dim: int, salt: str) -> tuple[int, float]:
     """Map a token to (bucket index, ±1 sign) deterministically."""
     digest = hashlib.md5(f"{salt}:{token}".encode()).digest()
     index = int.from_bytes(digest[:4], "little") % dim
     sign = 1.0 if digest[4] % 2 == 0 else -1.0
     return index, sign
+
+
+@lru_cache(maxsize=65536)
+def _token_buckets(token: str, dim: int, char_weight: float) -> tuple[tuple[int, float], ...]:
+    """Pre-weighted (index, weight) pairs for one token: word bucket + char trigrams.
+
+    Corpus vocabularies repeat tokens heavily, so caching the md5 bucketing per
+    token turns batch embedding into mostly array adds.
+    """
+    index, sign = _stable_bucket(token, dim, "word")
+    pairs = [(index, sign)]
+    for gram in char_ngrams(token, 3):
+        index, sign = _stable_bucket(gram, dim, "char")
+        pairs.append((index, sign * char_weight))
+    return tuple(pairs)
 
 
 def cosine_similarity(left: np.ndarray, right: np.ndarray) -> float:
@@ -53,26 +70,35 @@ class HashingEmbedding:
     def embed(self, text: str) -> np.ndarray:
         """Embed ``text`` into a unit-norm vector (zero vector for empty)."""
         vector = np.zeros(self.dim, dtype=np.float64)
-        tokens = word_tokenize(text)
-        for token in tokens:
-            index, sign = _stable_bucket(token, self.dim, "word")
-            vector[index] += sign
-            for gram in char_ngrams(token, 3):
-                index, sign = _stable_bucket(gram, self.dim, "char")
-                vector[index] += sign * self.char_weight
-        for left, right in zip(tokens, tokens[1:]):
-            index, sign = _stable_bucket(f"{left}_{right}", self.dim, "bigram")
-            vector[index] += sign * 0.7
+        self._accumulate(text, vector)
         norm = np.linalg.norm(vector)
         if norm > 0:
             vector /= norm
         return vector
 
+    def _accumulate(self, text: str, out: np.ndarray) -> None:
+        """Add the (unnormalised) feature weights for ``text`` into ``out``."""
+        tokens = word_tokenize(text)
+        dim = self.dim
+        char_weight = self.char_weight
+        for token in tokens:
+            for index, weight in _token_buckets(token, dim, char_weight):
+                out[index] += weight
+        for left, right in zip(tokens, tokens[1:]):
+            index, sign = _stable_bucket(f"{left}_{right}", dim, "bigram")
+            out[index] += sign * 0.7
+
     def embed_batch(self, texts: list[str]) -> np.ndarray:
-        """Embed many texts; returns an (n, dim) matrix."""
-        if not texts:
-            return np.zeros((0, self.dim), dtype=np.float64)
-        return np.stack([self.embed(text) for text in texts])
+        """Embed many texts in one pass; returns an (n, dim) unit-norm matrix."""
+        matrix = np.zeros((len(texts), self.dim), dtype=np.float64)
+        for row in range(len(texts)):
+            self._accumulate(texts[row], matrix[row])
+            # Normalise per row exactly as embed() does so batch and
+            # single-text embeddings stay bitwise identical.
+            norm = np.linalg.norm(matrix[row])
+            if norm > 0:
+                matrix[row] /= norm
+        return matrix
 
     def similarity(self, left: str, right: str) -> float:
         """Cosine similarity of two texts' embeddings."""

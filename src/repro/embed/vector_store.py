@@ -59,9 +59,24 @@ class VectorStore:
         self._matrix = None  # invalidate
 
     def add_batch(self, items: list[tuple[str, str, dict[str, Any]]]) -> None:
-        """Index many (id, text, metadata) triples."""
-        for entry_id, text, metadata in items:
-            self.add(entry_id, text, metadata)
+        """Index many (id, text, metadata) triples in one embedding pass.
+
+        Validates all ids up front (nothing is added on a duplicate) and
+        embeds every text with :meth:`HashingEmbedding.embed_batch`, which is
+        much faster than per-item :meth:`add` on corpus-sized inputs.
+        """
+        if not items:
+            return
+        fresh: set[str] = set()
+        for entry_id, _, _ in items:
+            if entry_id in self._ids or entry_id in fresh:
+                raise ValueError(f"duplicate vector-store id: {entry_id}")
+            fresh.add(entry_id)
+        vectors = self.embedding.embed_batch([text for _, text, _ in items])
+        for (entry_id, text, metadata), vector in zip(items, vectors):
+            self._entries.append(VectorEntry(entry_id, text, vector, dict(metadata or {})))
+        self._ids.update(fresh)
+        self._matrix = None  # invalidate; rebuilt lazily in one stack
 
     def _ensure_matrix(self) -> np.ndarray:
         if self._matrix is None:

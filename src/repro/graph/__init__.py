@@ -2,12 +2,13 @@
 
 from .model import Node, Path, Relationship
 from .schema import GraphSchema, SchemaRelationship, introspect_schema
-from .store import EntityNotFound, GraphError, GraphStore
+from .store import EntityNotFound, GraphError, GraphStatistics, GraphStore
 
 __all__ = [
     "Node",
     "Relationship",
     "Path",
+    "GraphStatistics",
     "GraphStore",
     "GraphError",
     "EntityNotFound",

@@ -10,12 +10,13 @@ reproduction.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
 from .model import Node, Relationship, validate_properties
 
-__all__ = ["GraphStore", "GraphError", "EntityNotFound"]
+__all__ = ["GraphStore", "GraphStatistics", "GraphError", "EntityNotFound"]
 
 
 class GraphError(Exception):
@@ -24,6 +25,59 @@ class GraphError(Exception):
 
 class EntityNotFound(GraphError, KeyError):
     """A node or relationship id does not exist in the store."""
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Snapshot of store-level statistics for query planning.
+
+    ``version`` increments on every mutation, so planners can cache plans
+    keyed on it and replan only when the graph actually changed.
+    ``index_selectivity`` maps an indexed ``(label, key)`` pair to the
+    average number of nodes per distinct value — the expected row count of
+    an exact-match index lookup.
+    """
+
+    version: int
+    node_count: int
+    relationship_count: int
+    label_counts: Mapping[str, int] = field(default_factory=dict)
+    rel_type_counts: Mapping[str, int] = field(default_factory=dict)
+    indexes: frozenset[tuple[str, str]] = frozenset()
+    index_selectivity: Mapping[tuple[str, str], float] = field(default_factory=dict)
+    # (rel_type, "out"|"in", label) -> edges of that type whose start ("out")
+    # or end ("in") node carries the label.  Lets the planner see that e.g.
+    # COUNTRY edges arrive at Country nodes from many source labels, so
+    # expanding from the Country side enumerates far more edges.
+    rel_endpoint_counts: Mapping[tuple[str, str, str], int] = field(
+        default_factory=dict
+    )
+
+    def label_count(self, label: str) -> int:
+        """Number of nodes carrying ``label`` (0 when unknown)."""
+        return self.label_counts.get(label, 0)
+
+    def rel_type_count(self, rel_type: str) -> int:
+        """Number of relationships of ``rel_type`` (0 when unknown)."""
+        return self.rel_type_counts.get(rel_type, 0)
+
+    def has_index(self, label: str, key: str) -> bool:
+        """True when an exact-match property index exists for ``(label, key)``."""
+        return (label, key) in self.indexes
+
+    def lookup_estimate(self, label: str, key: str) -> float:
+        """Expected rows from an index lookup on ``(label, key)``."""
+        return self.index_selectivity.get((label, key), 1.0)
+
+    def endpoint_count(self, rel_type: str, direction: str, label: str | None) -> int:
+        """Edges of ``rel_type`` whose ``direction``-side endpoint has ``label``.
+
+        ``direction="out"`` counts by start-node label, ``"in"`` by end-node
+        label; ``label=None`` returns the total for the type.
+        """
+        if label is None:
+            return self.rel_type_count(rel_type)
+        return self.rel_endpoint_counts.get((rel_type, direction, label), 0)
 
 
 class GraphStore:
@@ -47,8 +101,24 @@ class GraphStore:
         # node id -> rel ids (by direction)
         self._outgoing: dict[int, set[int]] = defaultdict(set)
         self._incoming: dict[int, set[int]] = defaultdict(set)
+        # node id -> rel type -> rel ids (typed adjacency, both directions),
+        # so type-restricted expansion never filters in Python per edge
+        self._outgoing_typed: dict[int, dict[str, set[int]]] = {}
+        self._incoming_typed: dict[int, dict[str, set[int]]] = {}
+        # rel type -> live relationship count (for planner statistics)
+        self._rel_type_counts: Counter[str] = Counter()
+        # (rel type, "out"|"in", endpoint label) -> live edge count
+        self._rel_endpoint_counts: Counter[tuple[str, str, str]] = Counter()
         # (label, property key, value) exact-match index, built lazily
         self._property_index: dict[tuple[str, str], dict[Any, set[int]]] = {}
+        # bumped on every mutation; statistics()/plan caches key on it
+        self._stats_version = 0
+        self._stats_cache: GraphStatistics | None = None
+        # (node id, direction, rel types) -> sorted relationship tuple,
+        # memoising the union+sort of adjacency sets; cleared on mutation
+        self._adjacency_cache: dict[
+            tuple[int, str, tuple[str, ...] | None], tuple[Relationship, ...]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Creation / mutation
@@ -72,6 +142,7 @@ class GraphStore:
                 index = self._property_index.get((label, key))
                 if index is not None:
                     index[self._index_key(node.properties[key])].add(node.node_id)
+        self._touch()
         return node
 
     def create_relationship(
@@ -91,6 +162,14 @@ class GraphStore:
         self._relationships[rel.rel_id] = rel
         self._outgoing[start_id].add(rel.rel_id)
         self._incoming[end_id].add(rel.rel_id)
+        self._outgoing_typed.setdefault(start_id, {}).setdefault(rel_type, set()).add(rel.rel_id)
+        self._incoming_typed.setdefault(end_id, {}).setdefault(rel_type, set()).add(rel.rel_id)
+        self._rel_type_counts[rel_type] += 1
+        for label in self._nodes[start_id].labels:
+            self._rel_endpoint_counts[(rel_type, "out", label)] += 1
+        for label in self._nodes[end_id].labels:
+            self._rel_endpoint_counts[(rel_type, "in", label)] += 1
+        self._touch()
         return rel
 
     def set_node_property(self, node_id: int, key: str, value: Any) -> None:
@@ -109,6 +188,7 @@ class GraphStore:
                 index[self._index_key(old)].discard(node_id)
             if value is not None:
                 index[self._index_key(value)].add(node_id)
+        self._touch()
 
     def set_relationship_property(self, rel_id: int, key: str, value: Any) -> None:
         """Set (or with ``value=None`` remove) a property on a relationship."""
@@ -125,6 +205,25 @@ class GraphStore:
             raise EntityNotFound(f"relationship {rel_id} does not exist")
         self._outgoing[rel.start_id].discard(rel_id)
         self._incoming[rel.end_id].discard(rel_id)
+        out_bucket = self._outgoing_typed.get(rel.start_id, {}).get(rel.rel_type)
+        if out_bucket is not None:
+            out_bucket.discard(rel_id)
+        in_bucket = self._incoming_typed.get(rel.end_id, {}).get(rel.rel_type)
+        if in_bucket is not None:
+            in_bucket.discard(rel_id)
+        self._rel_type_counts[rel.rel_type] -= 1
+        if self._rel_type_counts[rel.rel_type] <= 0:
+            del self._rel_type_counts[rel.rel_type]
+        for side, node_id in (("out", rel.start_id), ("in", rel.end_id)):
+            node = self._nodes.get(node_id)
+            if node is None:
+                continue
+            for label in node.labels:
+                key = (rel.rel_type, side, label)
+                self._rel_endpoint_counts[key] -= 1
+                if self._rel_endpoint_counts[key] <= 0:
+                    del self._rel_endpoint_counts[key]
+        self._touch()
 
     def delete_node(self, node_id: int, detach: bool = False) -> None:
         """Remove a node.
@@ -156,6 +255,9 @@ class GraphStore:
                     index[self._index_key(value)].discard(node_id)
         self._outgoing.pop(node_id, None)
         self._incoming.pop(node_id, None)
+        self._outgoing_typed.pop(node_id, None)
+        self._incoming_typed.pop(node_id, None)
+        self._touch()
 
     def create_property_index(self, label: str, key: str) -> None:
         """Build an exact-match index over ``(label, key)`` for fast lookups."""
@@ -167,6 +269,11 @@ class GraphStore:
             if key in node.properties:
                 index[self._index_key(node.properties[key])].add(node_id)
         self._property_index[(label, key)] = index
+        self._touch()
+
+    def has_property_index(self, label: str, key: str) -> bool:
+        """True when an exact-match index exists for ``(label, key)``."""
+        return (label, key) in self._property_index
 
     # ------------------------------------------------------------------
     # Lookup
@@ -206,7 +313,38 @@ class GraphStore:
 
     def relationship_types(self) -> list[str]:
         """All relationship types present, sorted."""
-        return sorted({rel.rel_type for rel in self._relationships.values()})
+        return sorted(self._rel_type_counts)
+
+    @property
+    def stats_version(self) -> int:
+        """Monotone counter bumped by every mutation (plan-cache key)."""
+        return self._stats_version
+
+    def statistics(self) -> GraphStatistics:
+        """Current graph statistics (label/type cardinalities, index catalog).
+
+        The snapshot is cached and rebuilt only after a mutation, so the
+        query planner can call this on every query for free.
+        """
+        if self._stats_cache is not None and self._stats_cache.version == self._stats_version:
+            return self._stats_cache
+        selectivity = {
+            (label, key): (len(self._label_index.get(label, ())) / len(index)) if index else 1.0
+            for (label, key), index in self._property_index.items()
+        }
+        self._stats_cache = GraphStatistics(
+            version=self._stats_version,
+            node_count=len(self._nodes),
+            relationship_count=len(self._relationships),
+            label_counts={
+                label: len(ids) for label, ids in self._label_index.items() if ids
+            },
+            rel_type_counts=dict(self._rel_type_counts),
+            indexes=frozenset(self._property_index),
+            index_selectivity=selectivity,
+            rel_endpoint_counts=dict(self._rel_endpoint_counts),
+        )
+        return self._stats_cache
 
     # ------------------------------------------------------------------
     # Scans (the executor's access paths)
@@ -255,18 +393,61 @@ class GraphStore:
                 point of view).
             rel_types: restrict to these relationship types (any if None).
         """
-        wanted = set(rel_types) if rel_types else None
-        rel_ids: set[int] = set()
-        if direction in ("out", "both"):
-            rel_ids |= self._outgoing.get(node_id, set())
-        if direction in ("in", "both"):
-            rel_ids |= self._incoming.get(node_id, set())
+        yield from self.adjacent_relationships(node_id, direction, rel_types)
+
+    def adjacent_relationships(
+        self,
+        node_id: int,
+        direction: str = "both",
+        rel_types: Iterable[str] | None = None,
+    ) -> tuple[Relationship, ...]:
+        """Like :meth:`relationships_of` but returns a cached sorted tuple.
+
+        The executor's expansion hot path calls this once per visited node
+        per hop; memoising the union+sort makes repeated traversals (and
+        BFS re-visits) allocation-free.  The cache is dropped on any
+        mutation.
+        """
         if direction not in ("out", "in", "both"):
             raise ValueError(f"invalid direction {direction!r}")
-        for rel_id in sorted(rel_ids):
-            rel = self._relationships[rel_id]
-            if wanted is None or rel.rel_type in wanted:
-                yield rel
+        if rel_types is not None and not isinstance(rel_types, tuple):
+            rel_types = tuple(rel_types)
+        key = (node_id, direction, rel_types)
+        cached = self._adjacency_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                self._relationships[rel_id]
+                for rel_id in sorted(self._adjacent_ids(node_id, direction, rel_types))
+            )
+            self._adjacency_cache[key] = cached
+        return cached
+
+    def _adjacent_ids(
+        self,
+        node_id: int,
+        direction: str,
+        rel_types: Iterable[str] | None,
+    ) -> set[int]:
+        """Rel ids attached to ``node_id``, using typed buckets when possible."""
+        if rel_types is None:
+            rel_ids: set[int] = set()
+            if direction in ("out", "both"):
+                rel_ids |= self._outgoing.get(node_id, set())
+            if direction in ("in", "both"):
+                rel_ids |= self._incoming.get(node_id, set())
+            return rel_ids
+        rel_ids = set()
+        if direction in ("out", "both"):
+            buckets = self._outgoing_typed.get(node_id)
+            if buckets:
+                for rel_type in rel_types:
+                    rel_ids |= buckets.get(rel_type, set())
+        if direction in ("in", "both"):
+            buckets = self._incoming_typed.get(node_id)
+            if buckets:
+                for rel_type in rel_types:
+                    rel_ids |= buckets.get(rel_type, set())
+        return rel_ids
 
     def degree(
         self,
@@ -274,8 +455,27 @@ class GraphStore:
         direction: str = "both",
         rel_types: Iterable[str] | None = None,
     ) -> int:
-        """Number of attached relationships (cheap count of ``relationships_of``)."""
-        return sum(1 for _ in self.relationships_of(node_id, direction, rel_types))
+        """Number of attached relationships.
+
+        Counted from the (typed) adjacency indexes without materialising or
+        sorting relationship objects; directed counts are simple length
+        sums, ``"both"`` unions the two sides so self-loops count once.
+        """
+        if direction not in ("out", "in", "both"):
+            raise ValueError(f"invalid direction {direction!r}")
+        if direction == "both":
+            return len(self._adjacent_ids(node_id, "both", rel_types))
+        if rel_types is None:
+            side = self._outgoing if direction == "out" else self._incoming
+            return len(side.get(node_id, ()))
+        buckets = (
+            self._outgoing_typed.get(node_id)
+            if direction == "out"
+            else self._incoming_typed.get(node_id)
+        )
+        if not buckets:
+            return 0
+        return sum(len(buckets.get(rel_type, ())) for rel_type in set(rel_types))
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -321,6 +521,12 @@ class GraphStore:
         return seen
 
     # ------------------------------------------------------------------
+
+    def _touch(self) -> None:
+        """Record a mutation (invalidates statistics, plan and adjacency caches)."""
+        self._stats_version += 1
+        if self._adjacency_cache:
+            self._adjacency_cache.clear()
 
     @staticmethod
     def _index_key(value: Any) -> Any:

@@ -45,11 +45,16 @@ class TextToCypherRetriever(Retriever):
         llm: LLM,
         schema_text: str = "",
         prompt_builder: Callable[[str, str], str] | None = None,
+        capture_plan: bool = False,
     ) -> None:
         self.engine = engine
         self.llm = llm
         self.schema_text = schema_text
         self.prompt_builder = prompt_builder or default_text2cypher_prompt
+        # When on, successful retrievals carry the engine's EXPLAIN text in
+        # metadata["plan"] — chosen anchors, directions and row estimates
+        # for the generated query (cheap: the AST is already cached).
+        self.capture_plan = capture_plan
 
     @property
     def name(self) -> str:
@@ -80,6 +85,8 @@ class TextToCypherRetriever(Retriever):
                 error=f"{type(exc).__name__}: {exc}",
                 metadata=generation_meta,
             )
+        if self.capture_plan:
+            generation_meta["plan"] = self.engine.explain(cypher)
         return RetrievalResult(
             nodes=self._result_nodes(result),
             source=self.name,

@@ -1,0 +1,344 @@
+"""Cost-based planner: statistics, anchor/direction choice, pushdown, caching.
+
+The closing class runs every CypherEval gold query through the planned
+executor and the ``planner=False`` escape hatch and asserts identical rows —
+the end-to-end guarantee that cost-based planning is semantics-preserving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cypher import CypherEngine, parse, plan_match, render_value
+from repro.cypher.planner import needs_used_tracking
+from repro.eval import build_cyphereval
+from repro.graph import GraphStore
+
+
+# ---------------------------------------------------------------------------
+# Graph statistics
+# ---------------------------------------------------------------------------
+
+
+class TestGraphStatistics:
+    def test_counts_match_store(self, small_store):
+        stats = small_store.statistics()
+        assert stats.node_count == small_store.node_count
+        assert stats.relationship_count == small_store.relationship_count
+        for label in small_store.labels():
+            assert stats.label_count(label) == sum(
+                1 for _ in small_store.nodes_by_label(label)
+            )
+
+    def test_index_catalog(self, small_store):
+        stats = small_store.statistics()
+        assert stats.has_index("AS", "asn")
+        assert not stats.has_index("AS", "no_such_key")
+        assert ("AS", "asn") in stats.indexes
+        assert stats.lookup_estimate("AS", "asn") >= 1.0
+
+    def test_endpoint_counts_partition_rel_type(self, small_store):
+        stats = small_store.statistics()
+        # Every COUNTRY edge ends at a Country node ...
+        assert stats.endpoint_count("COUNTRY", "in", "Country") == stats.rel_type_count(
+            "COUNTRY"
+        )
+        # ... but only some of them *start* at an AS: the asymmetry the
+        # planner uses to avoid anchoring traversals at the Country side.
+        from_as = stats.endpoint_count("COUNTRY", "out", "AS")
+        assert 0 < from_as <= stats.rel_type_count("COUNTRY")
+        # label=None falls back to the per-type total.
+        assert stats.endpoint_count("COUNTRY", "out", None) == stats.rel_type_count(
+            "COUNTRY"
+        )
+
+    def test_endpoint_counts_maintained_on_create_and_delete(self):
+        store = GraphStore()
+        a = store.create_node(["AS"], {"asn": 1})
+        c = store.create_node(["Country"], {"country_code": "JP"})
+        rel = store.create_relationship(a.node_id, "COUNTRY", c.node_id)
+        stats = store.statistics()
+        assert stats.endpoint_count("COUNTRY", "out", "AS") == 1
+        assert stats.endpoint_count("COUNTRY", "in", "Country") == 1
+        store.delete_relationship(rel.rel_id)
+        stats = store.statistics()
+        assert stats.endpoint_count("COUNTRY", "out", "AS") == 0
+        assert stats.endpoint_count("COUNTRY", "in", "Country") == 0
+
+    def test_version_bumps_on_mutation(self, tiny_store):
+        before = tiny_store.statistics().version
+        tiny_store.create_node(["AS"], {"asn": 64512})
+        assert tiny_store.statistics().version > before
+
+    def test_adjacent_relationships_memoised_and_invalidated(self, tiny_store):
+        iij = next(tiny_store.nodes_by_property("AS", "asn", 2497))
+        first = tiny_store.adjacent_relationships(iij.node_id, "out", ("COUNTRY",))
+        assert [rel.rel_type for rel in first] == ["COUNTRY"]
+        # Memoised: same tuple object until the graph changes.
+        assert tiny_store.adjacent_relationships(iij.node_id, "out", ("COUNTRY",)) is first
+        google = next(tiny_store.nodes_by_property("AS", "asn", 15169))
+        tiny_store.create_relationship(google.node_id, "COUNTRY", iij.node_id)
+        incoming = tiny_store.adjacent_relationships(iij.node_id, "in", ("COUNTRY",))
+        assert len(incoming) == 1
+        assert incoming[0].start_id == google.node_id
+
+    def test_adjacent_relationships_rejects_bad_direction(self, tiny_store):
+        iij = next(tiny_store.nodes_by_property("AS", "asn", 2497))
+        with pytest.raises(ValueError):
+            tiny_store.adjacent_relationships(iij.node_id, "sideways")
+
+
+# ---------------------------------------------------------------------------
+# Anchor choice
+# ---------------------------------------------------------------------------
+
+
+def _first_match_plan(engine, query):
+    tree = parse(query)
+    clause = tree.clauses[0]
+    return plan_match(clause, engine.store.statistics())
+
+
+class TestAnchorChoice:
+    def test_inline_indexed_property_beats_label_scan(self, small_engine):
+        plan = _first_match_plan(
+            small_engine, "MATCH (a:AS {asn: 2497}) RETURN a.name"
+        )
+        anchor = plan.parts[0].anchor
+        assert anchor.kind == "property"
+        assert anchor.indexed
+        assert (anchor.label, anchor.key) == ("AS", "asn")
+
+    def test_where_equality_promoted_to_index_lookup(self, small_engine):
+        plan = _first_match_plan(
+            small_engine, "MATCH (a:AS) WHERE a.asn = 2497 RETURN a.name"
+        )
+        anchor = plan.parts[0].anchor
+        assert anchor.kind == "property" and anchor.indexed
+        assert "a" in plan.filters
+        assert plan.filters["a"][0].kind == "eq"
+
+    def test_where_equality_reversed_operands(self, small_engine):
+        plan = _first_match_plan(
+            small_engine, "MATCH (a:AS) WHERE 2497 = a.asn RETURN a.name"
+        )
+        assert plan.parts[0].anchor.kind == "property"
+
+    def test_where_in_list_fans_out_index_probes(self, small_engine):
+        plan = _first_match_plan(
+            small_engine,
+            "MATCH (a:AS) WHERE a.asn IN [2497, 15169] RETURN a.name",
+        )
+        anchor = plan.parts[0].anchor
+        assert anchor.kind == "property-in"
+        assert len(anchor.values) == 2
+
+    def test_disjunction_is_not_pushed(self, small_engine):
+        plan = _first_match_plan(
+            small_engine,
+            "MATCH (a:AS) WHERE a.asn = 2497 OR a.asn = 15169 RETURN a.name",
+        )
+        assert plan.parts[0].anchor.kind == "label"
+        assert plan.filters == {}
+
+    def test_label_scan_without_properties(self, small_engine):
+        plan = _first_match_plan(small_engine, "MATCH (a:AS) RETURN count(a)")
+        anchor = plan.parts[0].anchor
+        assert anchor.kind == "label" and anchor.label == "AS"
+
+    def test_all_nodes_scan_without_labels(self, small_engine):
+        plan = _first_match_plan(small_engine, "MATCH (n) RETURN count(n)")
+        assert plan.parts[0].anchor.kind == "all"
+
+    def test_unindexed_property_still_preferred_over_bare_scan(self, tiny_engine):
+        # tiny_store has no property indexes: the lookup routes through a
+        # filtered label scan but still estimates fewer output rows.
+        plan = _first_match_plan(
+            tiny_engine, "MATCH (a:AS {asn: 2497}) RETURN a.name"
+        )
+        anchor = plan.parts[0].anchor
+        assert anchor.kind == "property" and not anchor.indexed
+
+    def test_bound_variable_anchors_second_match(self, small_engine):
+        tree = parse(
+            "MATCH (a:AS {asn: 2497}) MATCH (a)-[:COUNTRY]->(c:Country) "
+            "RETURN c.country_code"
+        )
+        second = tree.clauses[1]
+        plan = plan_match(
+            second, small_engine.store.statistics(), bound=frozenset({"a"})
+        )
+        anchor = plan.parts[0].anchor
+        assert anchor.kind == "bound" and anchor.variable == "a"
+
+
+# ---------------------------------------------------------------------------
+# Direction choice
+# ---------------------------------------------------------------------------
+
+
+class TestDirectionChoice:
+    def test_country_traversal_keeps_as_anchor(self, small_engine):
+        # Country is the far smaller label, but every labelled node's
+        # COUNTRY edge arrives there: expanding from the Country side
+        # enumerates several times more edges.  The endpoint statistics
+        # must keep the anchor on the AS side.
+        plan = _first_match_plan(
+            small_engine,
+            "MATCH (a:AS)-[:COUNTRY]->(c:Country) RETURN c.country_code, count(a)",
+        )
+        part = plan.parts[0]
+        assert not part.reverse
+        assert part.anchor.label == "AS"
+
+    def test_selective_right_end_reverses(self, small_engine):
+        plan = _first_match_plan(
+            small_engine,
+            "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix {prefix: '203.0.113.0/24'}) "
+            "RETURN a.asn",
+        )
+        part = plan.parts[0]
+        assert part.reverse
+        assert part.anchor.kind == "property"
+        assert part.anchor.label == "Prefix"
+
+    def test_single_node_part_never_reverses(self, small_engine):
+        plan = _first_match_plan(small_engine, "MATCH (a:AS) RETURN a.asn")
+        assert not plan.parts[0].reverse
+
+    def test_shortest_path_never_reverses(self, small_engine):
+        plan = _first_match_plan(
+            small_engine,
+            "MATCH p = shortestPath((a:AS {asn: 2497})-[:PEERS_WITH*1..4]-"
+            "(b:AS {asn: 15169})) RETURN length(p)",
+        )
+        assert not plan.parts[0].reverse
+
+
+class TestUsedTracking:
+    @pytest.mark.parametrize(
+        "query, expected",
+        [
+            ("MATCH (a:AS)-[:COUNTRY]->(c) RETURN a", False),
+            ("MATCH (a)-[:PEERS_WITH]->(b)-[:COUNTRY]->(c) RETURN a", False),
+            ("MATCH (a)-[:PEERS_WITH]->(b)-[:PEERS_WITH]->(c) RETURN a", True),
+            ("MATCH (a)-[r1]->(b)-[r2]->(c) RETURN a", True),
+        ],
+    )
+    def test_needs_used_tracking(self, query, expected):
+        part = parse(query).clauses[0].pattern.parts[0]
+        assert needs_used_tracking(part) is expected
+
+    def test_rel_uniqueness_still_enforced_when_types_repeat(self, tiny_engine):
+        # IIJ-PEERS_WITH->GOOGLE must not bounce back over the same edge.
+        result = tiny_engine.run(
+            "MATCH (a:AS {asn: 2497})-[:PEERS_WITH]-(b)-[:PEERS_WITH]-(c) "
+            "RETURN c.asn"
+        )
+        assert len(result) == 0
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN / profile surfaces
+# ---------------------------------------------------------------------------
+
+
+class TestExplainAndProfile:
+    def test_explain_shows_anchor_and_direction(self, small_engine):
+        text = small_engine.explain(
+            "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix {prefix: '203.0.113.0/24'}) "
+            "RETURN a.asn"
+        )
+        assert "anchor=(p:Prefix" in text
+        assert "PropertyLookup(:Prefix.prefix) [index]" in text
+        assert "expand right-to-left" in text
+        assert "est≈" in text
+
+    def test_explain_shows_pushdown(self, small_engine):
+        text = small_engine.explain(
+            "MATCH (a:AS) WHERE a.asn = 2497 AND a.name <> 'x' RETURN a.name"
+        )
+        assert "Pushdown a.asn = ..." in text
+        assert "Filter (WHERE)" in text  # residual WHERE still evaluated
+
+    def test_explain_planner_off_keeps_legacy_shape(self, small_store):
+        engine = CypherEngine(small_store, planner=False)
+        text = engine.explain("MATCH (a:AS {asn: 2497}) RETURN a.name")
+        assert "PropertyLookup(:AS.asn)" in text
+        # No cost estimates without the planner.
+        assert "est≈" not in text
+
+    def test_profile_reports_estimates_and_actuals(self, small_engine):
+        result, report = small_engine.profile(
+            "MATCH (a:AS {asn: 2497}) RETURN a.name"
+        )
+        assert len(result) == 1
+        assert "est≈" in report
+        assert "-> 1 rows" in report
+
+
+# ---------------------------------------------------------------------------
+# Plan caching
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCaching:
+    def test_ast_cache_is_bounded(self, tiny_store):
+        engine = CypherEngine(tiny_store, cache_size=8)
+        for asn in range(32):
+            engine.run(f"MATCH (a:AS {{asn: {asn}}}) RETURN a.name")
+        assert len(engine._ast_cache) <= 8
+        assert len(engine._plan_cache) <= 8
+
+    def test_plans_refresh_after_mutation(self, tiny_store):
+        engine = CypherEngine(tiny_store)
+        query = "MATCH (a:AS) RETURN count(a) AS n"
+        assert engine.run(query).single()["n"] == 2
+        tiny_store.create_node(["AS"], {"asn": 64512})
+        # The cached plan was built for the old statistics version; the
+        # engine must replan (and, more importantly, still see the node).
+        assert engine.run(query).single()["n"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Planner on/off equivalence over the full CypherEval gold set
+# ---------------------------------------------------------------------------
+
+_EQUIVALENCE_SHARDS = 7
+
+
+@pytest.fixture(scope="module")
+def gold_questions(small_dataset):
+    return build_cyphereval(small_dataset, seed=7, per_template=9)
+
+
+@pytest.fixture(scope="module")
+def engine_pair(small_store):
+    return CypherEngine(small_store), CypherEngine(small_store, planner=False)
+
+
+def _comparable(result):
+    """Rows as tuples of rendered values (hashable, sortable, readable)."""
+    return [
+        tuple(render_value(value) for value in record.values())
+        for record in result.records
+    ]
+
+
+class TestCypherEvalEquivalence:
+    @pytest.mark.parametrize("shard", range(_EQUIVALENCE_SHARDS))
+    def test_gold_queries_identical_rows(self, gold_questions, engine_pair, shard):
+        planned_engine, unplanned_engine = engine_pair
+        questions = gold_questions[shard::_EQUIVALENCE_SHARDS]
+        assert questions, "empty shard — CypherEval generation regressed"
+        for question in questions:
+            query = question.gold_cypher
+            planned = planned_engine.run(query)
+            unplanned = unplanned_engine.run(query)
+            assert planned.keys == unplanned.keys, query
+            planned_rows = _comparable(planned)
+            unplanned_rows = _comparable(unplanned)
+            if "ORDER BY" in query.upper():
+                assert planned_rows == unplanned_rows, query
+            else:
+                assert sorted(planned_rows) == sorted(unplanned_rows), query
