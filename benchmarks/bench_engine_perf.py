@@ -141,7 +141,7 @@ def _median_latency_ms(engine: CypherEngine, query: str, batches: int, runs: int
     return statistics.median(samples)
 
 
-def run_quick(output: Path, batches: int = 10, runs: int = 20) -> dict:
+def run_quick(output: Path | None, batches: int = 10, runs: int = 20) -> dict:
     """Time every engine query planner-on and planner-off; write ``output``."""
     from repro.iyp.loader import load_dataset
 
@@ -173,9 +173,35 @@ def run_quick(output: Path, batches: int = 10, runs: int = 20) -> dict:
         "protocol": f"median of {batches} batches x {runs} runs, warm caches",
         "queries": results,
     }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {output}", file=sys.stderr)
+    if output is not None:
+        output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {output}", file=sys.stderr)
     return payload
+
+
+def check_regressions(
+    payload: dict, baseline_path: Path, tolerance: float = 0.30
+) -> list[str]:
+    """Compare fresh speedups against the committed baseline.
+
+    Returns one message per query whose ``speedup_vs_seed`` regressed more
+    than ``tolerance`` (fractional) below the committed value — the CI gate
+    that keeps the planner's headline wins honest.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, committed in baseline.get("queries", {}).items():
+        committed_speedup = committed.get("speedup_vs_seed")
+        current = payload["queries"].get(name, {}).get("speedup_vs_seed")
+        if not committed_speedup or not current:
+            continue
+        floor = committed_speedup * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"{name}: speedup_vs_seed {current:.2f}x < {floor:.2f}x "
+                f"(committed {committed_speedup:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -185,14 +211,33 @@ def main(argv: list[str] | None = None) -> int:
         help="run the standalone engine-latency suite and write BENCH_engine.json",
     )
     parser.add_argument(
+        "--check", action="store_true",
+        help="regression gate: compare speedups against the committed "
+             "BENCH_engine.json (>30%% regression fails); does not overwrite it",
+    )
+    parser.add_argument(
         "--output", type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
     )
     parser.add_argument("--batches", type=int, default=10)
     parser.add_argument("--runs", type=int, default=20)
+    parser.add_argument("--tolerance", type=float, default=0.30)
     args = parser.parse_args(argv)
     if not args.quick:
         parser.error("use --quick (or run this file under pytest for full benchmarks)")
+    if args.check:
+        baseline_path = args.output
+        if not baseline_path.exists():
+            parser.error(f"--check needs a committed baseline at {baseline_path}")
+        payload = run_quick(None, batches=args.batches, runs=args.runs)
+        failures = check_regressions(payload, baseline_path, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print("perf gate ok: no headline speedup regressed "
+              f">{args.tolerance:.0%} vs {baseline_path.name}", file=sys.stderr)
+        return 0
     run_quick(args.output, batches=args.batches, runs=args.runs)
     return 0
 

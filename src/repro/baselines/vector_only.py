@@ -4,6 +4,12 @@ The opposite corner from Pythia: every question is answered from the
 nearest graph-node descriptions.  Robust — it always says *something*
 related — but without executing queries it cannot produce the precise
 values (counts, percentages, ranks) most IYP questions ask for.
+
+Since the staged-pipeline refactor this baseline is no longer a bespoke
+code path: it is the standard :class:`~repro.rag.RetrieverQueryEngine`
+running under the :class:`~repro.rag.routing.VectorOnlyPolicy` route —
+the same kernel, observers and synthesis the full system uses, minus the
+symbolic stage.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from ..iyp.generator import IYPDataset
 from ..iyp.loader import load_dataset
 from ..llm.simulated import SimulatedLLM
 from ..nlp.entities import Gazetteer
+from ..rag.pipeline import RetrieverQueryEngine
+from ..rag.routing import VectorOnlyPolicy
 from ..rag.synthesizer import ResponseSynthesizer
 from ..rag.vector_retriever import VectorContextRetriever
 
@@ -48,6 +56,12 @@ class VectorOnlyBaseline:
             self.store, top_k=self.config.vector_top_k
         )
         self.synthesizer = ResponseSynthesizer(self.llm, prompt_builder=answer_prompt)
+        self.pipeline = RetrieverQueryEngine(
+            text2cypher=None,
+            vector=self.retriever,
+            synthesizer=self.synthesizer,
+            routing_policy=VectorOnlyPolicy(),
+        )
 
     @property
     def name(self) -> str:
@@ -64,15 +78,14 @@ class VectorOnlyBaseline:
                 retrieval_source="none",
                 used_fallback=False,
             )
-        retrieval = self.retriever.retrieve(question)
-        answer = self.synthesizer.synthesize(question, retrieval)
+        response = self.pipeline.query(question)
         return ChatResponse(
             question=question,
-            answer=answer,
+            answer=response.answer,
             cypher=None,
-            retrieval_source="vector",
+            retrieval_source=response.retrieval_source,
             used_fallback=True,
-            context_snippets=[item.node.text for item in retrieval.nodes],
+            context_snippets=[item.node.text for item in response.context],
             result=None,
-            diagnostics={"baseline": self.name},
+            diagnostics={"baseline": self.name, **response.diagnostics},
         )

@@ -20,8 +20,10 @@ from ..iyp.loader import load_dataset
 from ..llm.simulated import SimulatedLLM
 from ..llm.text2cypher import ErrorModel
 from ..nlp.entities import Gazetteer
+from ..rag.observer import MetricsRegistry, PipelineObserver
 from ..rag.pipeline import PipelineResponse, RetrieverQueryEngine
 from ..rag.reranker import LLMReranker
+from ..rag.routing import make_routing_policy
 from ..rag.synthesizer import ResponseSynthesizer
 from ..rag.text2cypher_retriever import TextToCypherRetriever
 from ..rag.vector_retriever import VectorContextRetriever
@@ -61,6 +63,14 @@ class ChatResponse:
             "used_fallback": self.used_fallback,
             "context": self.context_snippets,
             "rows": rows,
+            # JSON-safe provenance subset: routing decision, error taxonomy
+            # and per-stage wall-clock timings from the pipeline kernel.
+            "diagnostics": {
+                "route": self.diagnostics.get("route"),
+                "symbolic_error": self.diagnostics.get("symbolic_error"),
+                "error_class": self.diagnostics.get("error_class"),
+                "stage_timings": self.diagnostics.get("stage_timings", {}),
+            },
         }
 
 
@@ -71,6 +81,7 @@ class ChatIYP:
         self,
         dataset: Optional[IYPDataset] = None,
         config: Optional[ChatIYPConfig] = None,
+        observers: Optional[list[PipelineObserver]] = None,
     ) -> None:
         self.config = config or ChatIYPConfig()
         self.dataset = dataset or load_dataset(
@@ -102,7 +113,9 @@ class ChatIYP:
             prompt_builder=text2cypher_prompt,
         )
         vector = None
-        if self.config.use_vector_fallback:
+        # Non-default routing policies consult the vector retriever even
+        # when the symbolic-first fallback is switched off.
+        if self.config.use_vector_fallback or self.config.routing_policy != "symbolic-first":
             vector = VectorContextRetriever(
                 self.store, top_k=self.config.vector_top_k
             )
@@ -114,6 +127,10 @@ class ChatIYP:
                 prompt_builder=rerank_prompt,
             )
         synthesizer = ResponseSynthesizer(self.llm, prompt_builder=answer_prompt)
+        # The metrics registry rides along on every query (per-stage latency
+        # aggregates + routing counters); the HTTP server serves it under
+        # /metrics, and callers can attach further observers (tracing, ...).
+        self.metrics = MetricsRegistry()
         self.pipeline = RetrieverQueryEngine(
             text2cypher=text2cypher,
             vector=vector,
@@ -121,6 +138,8 @@ class ChatIYP:
             synthesizer=synthesizer,
             vector_fallback=self.config.use_vector_fallback,
             sparse_row_threshold=self.config.sparse_row_threshold,
+            routing_policy=make_routing_policy(self.config.routing_policy),
+            observers=[self.metrics, *(observers or [])],
         )
         if self.config.use_decomposition:
             from ..rag.decompose import DecomposingQueryEngine, QuestionDecomposer

@@ -32,6 +32,7 @@ from .report import (
     finding1_table,
     finding2_table,
     report_to_csv,
+    stage_latency_table,
     template_table,
 )
 from .stats import (
@@ -76,6 +77,7 @@ __all__ = [
     "finding2_table",
     "ascii_histogram",
     "report_to_csv",
+    "stage_latency_table",
     "template_table",
     "FailureClass",
     "classify_failure",

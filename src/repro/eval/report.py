@@ -22,10 +22,14 @@ __all__ = [
     "finding1_table",
     "finding2_table",
     "template_table",
+    "stage_latency_table",
     "report_to_csv",
 ]
 
 _BAR = "█"
+
+#: pipeline-kernel stage names, in execution order (latency columns)
+STAGE_KEYS = ("symbolic", "routing", "rerank", "synthesis")
 
 
 def ascii_histogram(values: list[float], bins: int = 10, width: int = 32) -> str:
@@ -223,15 +227,51 @@ def template_table(report: EvaluationReport, worst_first: bool = True) -> str:
     )
 
 
+def stage_latency_table(report: EvaluationReport) -> str:
+    """Per-stage pipeline latency summary over every evaluated question.
+
+    Reads the ``stage_timings`` the stage kernel records in each response's
+    diagnostics; questions answered outside the staged pipeline (e.g.
+    decomposed ones) simply contribute no samples.
+    """
+    header = ["stage", "n", "mean ms", "median ms", "min ms", "max ms", "total ms"]
+    rows = []
+    for stage in STAGE_KEYS:
+        samples = [
+            evaluation.diagnostics.get("stage_timings", {}).get(stage)
+            for evaluation in report.evaluations
+        ]
+        samples = [value for value in samples if value is not None]
+        if not samples:
+            continue
+        ordered = sorted(samples)
+        rows.append(
+            [
+                stage,
+                str(len(samples)),
+                f"{sum(samples) / len(samples):.3f}",
+                f"{ordered[len(ordered) // 2]:.3f}",
+                f"{ordered[0]:.3f}",
+                f"{ordered[-1]:.3f}",
+                f"{sum(samples):.3f}",
+            ]
+        )
+    return "\n".join(
+        ["Per-stage pipeline latency (ms, wall clock)", _render_table(header, rows)]
+    )
+
+
 def report_to_csv(report: EvaluationReport) -> str:
-    """Per-question CSV export of every score and label."""
+    """Per-question CSV export of every score, label and stage latency."""
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(
         ["qid", "difficulty", "domain", "template", "retrieval_source",
-         "used_fallback", *METRIC_KEYS, "human"]
+         "used_fallback", *METRIC_KEYS, "human",
+         *[f"t_{stage}_ms" for stage in STAGE_KEYS]]
     )
     for evaluation in report.evaluations:
+        timings = evaluation.diagnostics.get("stage_timings", {}) or {}
         writer.writerow(
             [
                 evaluation.question.qid,
@@ -242,6 +282,7 @@ def report_to_csv(report: EvaluationReport) -> str:
                 evaluation.used_fallback,
                 *[evaluation.scores[metric] for metric in METRIC_KEYS],
                 evaluation.human_score if evaluation.human_score is not None else "",
+                *[timings.get(stage, "") for stage in STAGE_KEYS],
             ]
         )
     return buffer.getvalue()

@@ -2,9 +2,40 @@
 
 from .decompose import DecomposingQueryEngine, DecompositionPlan, QuestionDecomposer
 from .describe import DESCRIBED_LABELS, build_description_corpus, describe_node
+from .errors import (
+    EmptyResult,
+    ExecutionError,
+    PipelineError,
+    SymbolicTranslationError,
+    classify_symbolic_failure,
+)
+from .observer import (
+    MetricsRegistry,
+    PipelineObserver,
+    StageSpan,
+    StageStats,
+    TracingObserver,
+)
 from .pipeline import PipelineResponse, RetrieverQueryEngine
 from .reranker import LLMReranker, default_rerank_prompt
 from .retriever import Retriever
+from .routing import (
+    HybridMergePolicy,
+    RouteDecision,
+    RoutingPolicy,
+    SymbolicFirstPolicy,
+    VectorOnlyPolicy,
+    make_routing_policy,
+)
+from .stages import (
+    FallbackRoutingStage,
+    QueryContext,
+    RerankStage,
+    Stage,
+    StagePipeline,
+    SymbolicRetrievalStage,
+    SynthesisStage,
+)
 from .synthesizer import ResponseSynthesizer, default_answer_prompt
 from .text2cypher_retriever import TextToCypherRetriever, default_text2cypher_prompt
 from .types import NodeWithScore, RetrievalResult, TextNode
@@ -24,6 +55,33 @@ __all__ = [
     "DecomposingQueryEngine",
     "DecompositionPlan",
     "QuestionDecomposer",
+    # stage-execution kernel
+    "Stage",
+    "QueryContext",
+    "StagePipeline",
+    "SymbolicRetrievalStage",
+    "FallbackRoutingStage",
+    "RerankStage",
+    "SynthesisStage",
+    # routing policies
+    "RoutingPolicy",
+    "RouteDecision",
+    "SymbolicFirstPolicy",
+    "VectorOnlyPolicy",
+    "HybridMergePolicy",
+    "make_routing_policy",
+    # observability
+    "PipelineObserver",
+    "TracingObserver",
+    "StageSpan",
+    "MetricsRegistry",
+    "StageStats",
+    # error taxonomy
+    "PipelineError",
+    "SymbolicTranslationError",
+    "ExecutionError",
+    "EmptyResult",
+    "classify_symbolic_failure",
     "describe_node",
     "build_description_corpus",
     "DESCRIBED_LABELS",

@@ -1,0 +1,87 @@
+"""Typed error taxonomy of the staged pipeline.
+
+Replaces the stringly-typed ``RetrievalResult.error`` inspection that used
+to be scattered through the orchestration code.  Each failure a query can
+hit on its way through the stages maps to exactly one class:
+
+* :class:`SymbolicTranslationError` — the LLM produced no Cypher at all;
+* :class:`ExecutionError` — generated Cypher failed to parse or run;
+* :class:`EmptyResult` — the query ran but returned no more rows than the
+  configured sparsity threshold, so the router treats it as a miss.
+
+The classes are exceptions so callers *may* raise them, but the pipeline
+itself never throws for expected failures: stages record the instance on
+``QueryContext.error`` and observers see it through ``on_error``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .types import RetrievalResult
+
+__all__ = [
+    "PipelineError",
+    "SymbolicTranslationError",
+    "ExecutionError",
+    "EmptyResult",
+    "classify_symbolic_failure",
+]
+
+
+class PipelineError(Exception):
+    """Base of the pipeline error taxonomy."""
+
+    #: short machine-readable class tag (stable across renames)
+    kind = "pipeline_error"
+
+    def __init__(self, message: str = "", cypher: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.cypher = cypher
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering for diagnostics payloads."""
+        return {"kind": self.kind, "type": type(self).__name__, "message": str(self)}
+
+
+class SymbolicTranslationError(PipelineError):
+    """The backbone could not translate the question into Cypher."""
+
+    kind = "translation"
+
+
+class ExecutionError(PipelineError):
+    """The generated Cypher failed at parse or execution time."""
+
+    kind = "execution"
+
+
+class EmptyResult(PipelineError):
+    """The query executed but produced no usable rows (sparse result)."""
+
+    kind = "empty_result"
+
+
+def classify_symbolic_failure(
+    retrieval: "RetrievalResult", sparse_row_threshold: int = 0
+) -> Optional[PipelineError]:
+    """Map a symbolic :class:`RetrievalResult` onto the taxonomy.
+
+    Returns ``None`` for a clean, non-sparse retrieval.  Sparsity follows
+    the engine's historical rule: a result set with at most
+    ``sparse_row_threshold`` rows counts as :class:`EmptyResult`.
+    """
+    if retrieval.error == "translation_failed":
+        return SymbolicTranslationError("the question could not be translated")
+    if retrieval.error is not None:
+        return ExecutionError(retrieval.error, cypher=retrieval.cypher)
+    if retrieval.result is not None and (
+        len(retrieval.result.records) <= sparse_row_threshold
+    ):
+        return EmptyResult(
+            f"query returned {len(retrieval.result.records)} row(s) "
+            f"(threshold {sparse_row_threshold})",
+            cypher=retrieval.cypher,
+        )
+    return None

@@ -1,0 +1,188 @@
+"""Observer/middleware hooks of the stage-execution kernel.
+
+A :class:`PipelineObserver` receives a callback around every stage the
+kernel runs — ``on_stage_start`` / ``on_stage_end`` / ``on_error`` — which
+is the seam for tracing, metrics, logging, or any cross-cutting concern
+that should not live inside the stages themselves.  Observer failures are
+contained: a raising observer is logged and skipped, never allowed to
+break a query.
+
+Two production-shaped implementations ship with the kernel:
+
+* :class:`TracingObserver` — records one structured span per stage run
+  (ordered, with duration and the error that ended the stage, if any);
+* :class:`MetricsRegistry` — a cumulative timing/counter registry keyed by
+  stage name, cheap enough to leave attached in serving paths (the HTTP
+  server exposes its :meth:`~MetricsRegistry.snapshot` under ``/metrics``).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .errors import PipelineError
+    from .stages import QueryContext
+
+__all__ = [
+    "PipelineObserver",
+    "StageSpan",
+    "TracingObserver",
+    "StageStats",
+    "MetricsRegistry",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class PipelineObserver:
+    """Base observer: every hook is a no-op, override what you need."""
+
+    def on_stage_start(self, stage: str, ctx: "QueryContext") -> None:
+        """Called immediately before ``stage`` runs."""
+
+    def on_stage_end(self, stage: str, ctx: "QueryContext", elapsed_ms: float) -> None:
+        """Called after ``stage`` ran, with its wall-clock duration."""
+
+    def on_error(self, stage: str, error: "PipelineError", ctx: "QueryContext") -> None:
+        """Called when ``stage`` recorded (or raised) a pipeline error."""
+
+
+class _ObserverFanout:
+    """Dispatches kernel events to many observers, containing failures."""
+
+    def __init__(self, observers: Iterable[PipelineObserver]) -> None:
+        self.observers = tuple(observers)
+
+    def emit(self, hook: str, *args) -> None:
+        for observer in self.observers:
+            try:
+                getattr(observer, hook)(*args)
+            except Exception:  # noqa: BLE001 - observers must never break a query
+                logger.warning(
+                    "pipeline observer %s.%s failed", type(observer).__name__, hook,
+                    exc_info=True,
+                )
+
+
+@dataclass
+class StageSpan:
+    """One recorded stage execution."""
+
+    stage: str
+    index: int
+    elapsed_ms: float = 0.0
+    error: Optional[str] = None
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = {"stage": self.stage, "index": self.index, "elapsed_ms": self.elapsed_ms}
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.detail:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+
+class TracingObserver(PipelineObserver):
+    """Collects an ordered span per stage run — a poor man's trace."""
+
+    def __init__(self) -> None:
+        self.spans: list[StageSpan] = []
+        self._open: dict[str, StageSpan] = {}
+
+    def on_stage_start(self, stage: str, ctx: "QueryContext") -> None:
+        span = StageSpan(stage=stage, index=len(self.spans) + len(self._open))
+        self._open[stage] = span
+
+    def on_stage_end(self, stage: str, ctx: "QueryContext", elapsed_ms: float) -> None:
+        span = self._open.pop(stage, None) or StageSpan(stage=stage, index=len(self.spans))
+        span.elapsed_ms = elapsed_ms
+        self.spans.append(span)
+
+    def on_error(self, stage: str, error: "PipelineError", ctx: "QueryContext") -> None:
+        span = self._open.get(stage)
+        if span is not None:
+            span.error = type(error).__name__
+        else:  # error surfaced outside an open span (e.g. re-raised later)
+            self.spans.append(
+                StageSpan(stage=stage, index=len(self.spans), error=type(error).__name__)
+            )
+
+    def to_dicts(self) -> list[dict]:
+        return [span.to_dict() for span in self.spans]
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._open.clear()
+
+
+@dataclass
+class StageStats:
+    """Cumulative latency/throughput aggregate for one stage."""
+
+    calls: int = 0
+    errors: int = 0
+    total_ms: float = 0.0
+    min_ms: float = float("inf")
+    max_ms: float = 0.0
+
+    def record(self, elapsed_ms: float) -> None:
+        self.calls += 1
+        self.total_ms += elapsed_ms
+        self.min_ms = min(self.min_ms, elapsed_ms)
+        self.max_ms = max(self.max_ms, elapsed_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "errors": self.errors,
+            "total_ms": round(self.total_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "min_ms": round(self.min_ms, 3) if self.calls else 0.0,
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+class MetricsRegistry(PipelineObserver):
+    """Timing/counter registry fed by kernel callbacks.
+
+    Per-stage :class:`StageStats` plus free-form named counters
+    (``increment``), so stages and policies can count routing decisions
+    without knowing how the numbers are consumed.
+    """
+
+    def __init__(self) -> None:
+        self.stages: dict[str, StageStats] = {}
+        self.counters: dict[str, int] = {}
+
+    # -- observer hooks ----------------------------------------------------
+
+    def on_stage_end(self, stage: str, ctx: "QueryContext", elapsed_ms: float) -> None:
+        self.stages.setdefault(stage, StageStats()).record(elapsed_ms)
+
+    def on_error(self, stage: str, error: "PipelineError", ctx: "QueryContext") -> None:
+        self.stages.setdefault(stage, StageStats()).errors += 1
+        self.increment(f"error.{error.kind}")
+
+    # -- registry ----------------------------------------------------------
+
+    def increment(self, counter: str, by: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + by
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump of every stage aggregate and counter."""
+        return {
+            "stages": {name: stats.to_dict() for name, stats in sorted(self.stages.items())},
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def reset(self) -> None:
+        self.stages.clear()
+        self.counters.clear()

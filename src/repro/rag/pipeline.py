@@ -9,24 +9,40 @@ Flow, exactly as the paper describes:
 3. the **LLMReranker** re-scores the retrieval candidates;
 4. the **ResponseSynthesizer** generates the answer, returning the refined
    Cypher query alongside for transparency.
+
+Since the staged refactor the engine is a thin composition root: it builds
+the four :mod:`~repro.rag.stages` stages around a pluggable
+:class:`~repro.rag.routing.RoutingPolicy` and hands them to the
+:class:`~repro.rag.stages.StagePipeline` kernel, which times each stage and
+drives the attached :class:`~repro.rag.observer.PipelineObserver` hooks.
+The public ``query()`` API and :class:`PipelineResponse` shape are
+unchanged; per-stage timings appear under ``diagnostics["stage_timings"]``.
 """
 
 from __future__ import annotations
 
-import logging
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from ..cypher.result import ResultSet
+from .observer import PipelineObserver
 from .reranker import LLMReranker
+from .routing import RoutingPolicy, SymbolicFirstPolicy, VectorRetrieve
+from .stages import (
+    FallbackRoutingStage,
+    QueryContext,
+    RerankStage,
+    Stage,
+    StagePipeline,
+    SymbolicRetrievalStage,
+    SynthesisStage,
+)
 from .synthesizer import ResponseSynthesizer
 from .text2cypher_retriever import TextToCypherRetriever
 from .types import NodeWithScore
 from .vector_retriever import VectorContextRetriever
 
 __all__ = ["PipelineResponse", "RetrieverQueryEngine"]
-
-logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -47,81 +63,73 @@ class PipelineResponse:
 
 
 class RetrieverQueryEngine:
-    """Composable query engine over the three retrieval stages."""
+    """Composable query engine over the staged retrieval pipeline."""
 
     def __init__(
         self,
-        text2cypher: TextToCypherRetriever,
+        text2cypher: Optional[TextToCypherRetriever],
         vector: Optional[VectorContextRetriever] = None,
         reranker: Optional[LLMReranker] = None,
         synthesizer: Optional[ResponseSynthesizer] = None,
         vector_fallback: bool = True,
         sparse_row_threshold: int = 0,
+        routing_policy: Optional[RoutingPolicy] = None,
+        observers: Iterable[PipelineObserver] = (),
     ) -> None:
         if synthesizer is None:
             raise ValueError("a ResponseSynthesizer is required")
+        self.routing_policy = routing_policy or SymbolicFirstPolicy()
+        if text2cypher is None and self.routing_policy.uses_symbolic:
+            raise ValueError(
+                f"routing policy {self.routing_policy.name!r} requires a "
+                "TextToCypherRetriever"
+            )
         self.text2cypher = text2cypher
         self.vector = vector
         self.reranker = reranker
         self.synthesizer = synthesizer
         self.vector_fallback = vector_fallback
         self.sparse_row_threshold = sparse_row_threshold
+        self.observers = list(observers)
+
+    # ------------------------------------------------------------------
+
+    def _vector_retrieve(self) -> VectorRetrieve:
+        """The vector hook handed to routing (None when disabled)."""
+        if self.vector is None:
+            return None
+        if not self.vector_fallback and self.routing_policy.uses_symbolic:
+            return None
+        return self.vector.retrieve
+
+    def build_stages(self) -> list[Stage]:
+        """The stage sequence for the current configuration.
+
+        Rebuilt per query so swapping ``reranker``/``vector``/policy on a
+        live engine takes effect immediately; stage construction is a few
+        attribute assignments, far below retrieval cost.
+        """
+        stages: list[Stage] = []
+        if self.text2cypher is not None and self.routing_policy.uses_symbolic:
+            stages.append(
+                SymbolicRetrievalStage(self.text2cypher, self.sparse_row_threshold)
+            )
+        stages.append(FallbackRoutingStage(self.routing_policy, self._vector_retrieve()))
+        stages.append(RerankStage(self.reranker))
+        stages.append(SynthesisStage(self.synthesizer))
+        return stages
 
     def query(self, question: str) -> PipelineResponse:
-        """Run the full pipeline for one question."""
-        symbolic = self.text2cypher.retrieve(question)
-        diagnostics: dict[str, Any] = {
-            "generation": dict(symbolic.metadata),
-            "symbolic_error": symbolic.error,
-            "fallback_used": False,
-        }
-
-        if symbolic.error is not None:
-            logger.debug("symbolic retrieval failed for %r: %s", question, symbolic.error)
-        sparse = symbolic.result is not None and (
-            len(symbolic.result.records) <= self.sparse_row_threshold
-        )
-        if symbolic.succeeded and not sparse:
-            context = symbolic.nodes
-            if self.reranker is not None and context:
-                context = self.reranker.rerank(question, context)
-            answer = self.synthesizer.synthesize(question, symbolic, context)
-            return PipelineResponse(
-                answer=answer,
-                cypher=symbolic.cypher,
-                retrieval_source=symbolic.source,
-                context=context,
-                result=symbolic.result,
-                diagnostics=diagnostics,
-            )
-
-        diagnostics["sparse"] = sparse
-        if self.vector is not None and self.vector_fallback:
-            logger.debug(
-                "falling back to vector retrieval for %r (sparse=%s)", question, sparse
-            )
-            diagnostics["fallback_used"] = True
-            semantic = self.vector.retrieve(question)
-            context = semantic.nodes
-            if self.reranker is not None and context:
-                context = self.reranker.rerank(question, context)
-            answer = self.synthesizer.synthesize(question, semantic, context)
-            return PipelineResponse(
-                answer=answer,
-                cypher=symbolic.cypher,  # surfaced even when it failed, for transparency
-                retrieval_source=semantic.source,
-                context=context,
-                result=None,
-                diagnostics=diagnostics,
-            )
-
-        # No fallback configured: answer from whatever the symbolic path has.
-        answer = self.synthesizer.synthesize(question, symbolic, symbolic.nodes)
+        """Run the full staged pipeline for one question."""
+        kernel = StagePipeline(self.build_stages(), self.observers)
+        ctx = kernel.run(QueryContext(question=question))
+        diagnostics = dict(ctx.diagnostics)
+        diagnostics["stage_timings"] = dict(ctx.timings)
         return PipelineResponse(
-            answer=answer,
-            cypher=symbolic.cypher,
-            retrieval_source=symbolic.source,
-            context=symbolic.nodes,
-            result=symbolic.result,
+            answer=ctx.answer if ctx.answer is not None else "",
+            cypher=ctx.cypher,
+            retrieval_source=ctx.source,
+            context=list(ctx.context),
+            result=ctx.result,
             diagnostics=diagnostics,
         )

@@ -1,0 +1,204 @@
+"""Pluggable routing policies for the staged pipeline.
+
+The :class:`FallbackRoutingStage` delegates the "which retrieval feeds
+generation?" decision to a :class:`RoutingPolicy`.  Three policies ship:
+
+* :class:`SymbolicFirstPolicy` — the paper's Figure-1 behaviour: use the
+  symbolic result when it succeeded and is not sparse, otherwise fall back
+  to vector retrieval when one is available;
+* :class:`VectorOnlyPolicy` — skip symbolic translation entirely (the
+  ``vector_only`` baseline expressed as a route);
+* :class:`HybridMergePolicy` — always run both retrievers and merge their
+  candidates (symbolic rows first, deduplicated by node id), letting the
+  reranker arbitrate between structured and semantic evidence.
+
+Policies are deterministic: same question, same graph, same decision.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .types import NodeWithScore, RetrievalResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cypher.result import ResultSet
+    from .stages import QueryContext
+
+__all__ = [
+    "RouteDecision",
+    "RoutingPolicy",
+    "SymbolicFirstPolicy",
+    "VectorOnlyPolicy",
+    "HybridMergePolicy",
+    "make_routing_policy",
+]
+
+#: signature of the vector-retrieval hook handed to policies (``None`` when
+#: no vector retriever is configured or the fallback is disabled)
+VectorRetrieve = Optional[Callable[[str], RetrievalResult]]
+
+
+@dataclass
+class RouteDecision:
+    """Everything downstream stages need to know about the chosen route."""
+
+    source: str
+    retrieval: RetrievalResult
+    candidates: list[NodeWithScore]
+    result: Optional["ResultSet"] = None
+    cypher: Optional[str] = None
+    fallback_used: bool = False
+    #: extra keys merged into the response diagnostics by the routing stage
+    diagnostics: dict = field(default_factory=dict)
+
+
+class RoutingPolicy(ABC):
+    """Decides which retrieval(s) feed the rerank/synthesis stages."""
+
+    #: set False for policies that never consult the symbolic retriever —
+    #: the engine then skips the symbolic stage (and tolerates its absence)
+    uses_symbolic: bool = True
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier recorded in diagnostics (``route`` key)."""
+
+    @abstractmethod
+    def route(self, ctx: "QueryContext", vector_retrieve: VectorRetrieve) -> RouteDecision:
+        """Choose the route for ``ctx``; must not mutate the context."""
+
+
+class SymbolicFirstPolicy(RoutingPolicy):
+    """Symbolic result when clean, vector fallback on failure/sparsity."""
+
+    @property
+    def name(self) -> str:
+        return "symbolic-first"
+
+    def route(self, ctx: "QueryContext", vector_retrieve: VectorRetrieve) -> RouteDecision:
+        symbolic = ctx.symbolic or RetrievalResult(source="text2cypher")
+        if symbolic.succeeded and not ctx.sparse:
+            return RouteDecision(
+                source=symbolic.source,
+                retrieval=symbolic,
+                candidates=list(symbolic.nodes),
+                result=symbolic.result,
+                cypher=symbolic.cypher,
+            )
+        if vector_retrieve is not None:
+            semantic = vector_retrieve(ctx.question)
+            return RouteDecision(
+                source=semantic.source,
+                retrieval=semantic,
+                candidates=list(semantic.nodes),
+                result=None,
+                cypher=symbolic.cypher,  # surfaced even when it failed, for transparency
+                fallback_used=True,
+                diagnostics={"sparse": bool(ctx.sparse)},
+            )
+        # No fallback configured: answer from whatever the symbolic path has.
+        return RouteDecision(
+            source=symbolic.source,
+            retrieval=symbolic,
+            candidates=list(symbolic.nodes),
+            result=symbolic.result,
+            cypher=symbolic.cypher,
+            diagnostics={"sparse": bool(ctx.sparse)},
+        )
+
+
+class VectorOnlyPolicy(RoutingPolicy):
+    """Every question answered from vector-retrieved node descriptions."""
+
+    uses_symbolic = False
+
+    @property
+    def name(self) -> str:
+        return "vector-only"
+
+    def route(self, ctx: "QueryContext", vector_retrieve: VectorRetrieve) -> RouteDecision:
+        if vector_retrieve is None:
+            raise ValueError("VectorOnlyPolicy requires a vector retriever")
+        semantic = vector_retrieve(ctx.question)
+        return RouteDecision(
+            source=semantic.source,
+            retrieval=semantic,
+            candidates=list(semantic.nodes),
+            result=None,
+            cypher=None,
+        )
+
+
+class HybridMergePolicy(RoutingPolicy):
+    """Merge symbolic rows and semantic snippets into one candidate pool.
+
+    Symbolic candidates keep their position ahead of semantic ones (they
+    carry executed facts), duplicates are dropped by node id, and the
+    structured result set survives whenever the symbolic query succeeded —
+    so synthesis still sees exact values while the reranker can pull in
+    semantic context the rows lack.
+    """
+
+    @property
+    def name(self) -> str:
+        return "hybrid-merge"
+
+    def route(self, ctx: "QueryContext", vector_retrieve: VectorRetrieve) -> RouteDecision:
+        symbolic = ctx.symbolic or RetrievalResult(source="text2cypher")
+        symbolic_ok = symbolic.succeeded and not ctx.sparse
+        semantic = vector_retrieve(ctx.question) if vector_retrieve is not None else None
+
+        merged: list[NodeWithScore] = []
+        seen: set[str] = set()
+        pools = [symbolic.nodes] if symbolic_ok else []
+        if semantic is not None:
+            pools.append(semantic.nodes)
+        for pool in pools:
+            for candidate in pool:
+                if candidate.node.node_id in seen:
+                    continue
+                seen.add(candidate.node.node_id)
+                merged.append(candidate)
+
+        if symbolic_ok and semantic is not None:
+            source = "hybrid"
+        elif symbolic_ok:
+            source = symbolic.source
+        else:
+            source = semantic.source if semantic is not None else symbolic.source
+        retrieval = RetrievalResult(
+            nodes=merged,
+            source=source,
+            cypher=symbolic.cypher,
+            result=symbolic.result if symbolic_ok else None,
+        )
+        return RouteDecision(
+            source=source,
+            retrieval=retrieval,
+            candidates=merged,
+            result=retrieval.result,
+            cypher=symbolic.cypher,
+            fallback_used=not symbolic_ok and semantic is not None,
+            diagnostics={"sparse": bool(ctx.sparse)} if not symbolic_ok else {},
+        )
+
+
+_POLICIES = {
+    "symbolic-first": SymbolicFirstPolicy,
+    "vector-only": VectorOnlyPolicy,
+    "hybrid-merge": HybridMergePolicy,
+}
+
+
+def make_routing_policy(name: str) -> RoutingPolicy:
+    """Instantiate a policy by its registry name (see ``_POLICIES``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

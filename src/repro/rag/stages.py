@@ -1,0 +1,229 @@
+"""Stage-execution kernel of the RAG pipeline.
+
+The Figure-1 flow is decomposed into four composable stages —
+
+``SymbolicRetrievalStage`` → ``FallbackRoutingStage`` → ``RerankStage``
+→ ``SynthesisStage``
+
+— each a :class:`Stage` transforming an immutable-ish :class:`QueryContext`
+record.  The :class:`StagePipeline` kernel runs the sequence, times every
+stage, and notifies the attached :class:`~repro.rag.observer.PipelineObserver`
+hooks around each one.  Stages never share mutable state: context evolution
+goes through :meth:`QueryContext.evolve`, and retriever-owned metadata is
+deep-copied before it enters the diagnostics, so callers can mutate a
+response's diagnostics without corrupting retriever or LLM internals.
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Optional, Protocol, runtime_checkable
+
+from ..cypher.result import ResultSet
+from .errors import PipelineError, classify_symbolic_failure
+from .observer import PipelineObserver, _ObserverFanout
+from .reranker import LLMReranker
+from .retriever import Retriever
+from .routing import RoutingPolicy, VectorRetrieve
+from .synthesizer import ResponseSynthesizer
+from .types import NodeWithScore, RetrievalResult
+
+__all__ = [
+    "QueryContext",
+    "Stage",
+    "SymbolicRetrievalStage",
+    "FallbackRoutingStage",
+    "RerankStage",
+    "SynthesisStage",
+    "StagePipeline",
+]
+
+# Stable logger name: pipeline events stayed on "repro.rag.pipeline" when the
+# engine was split into stages, so existing log-capture consumers keep working.
+logger = logging.getLogger("repro.rag.pipeline")
+
+
+@dataclass(frozen=True)
+class QueryContext:
+    """Everything one question accumulates on its way through the stages.
+
+    Frozen: stages return an evolved copy via :meth:`evolve` instead of
+    mutating in place, so an observer always sees a consistent snapshot
+    and a stage cannot leak partial writes into its successors.
+    """
+
+    question: str
+    #: raw outputs of the two retrieval paths (``None`` until produced)
+    symbolic: Optional[RetrievalResult] = None
+    semantic: Optional[RetrievalResult] = None
+    #: the retrieval chosen by routing (feeds synthesis)
+    retrieval: Optional[RetrievalResult] = None
+    #: candidate context before reranking / surviving context after
+    candidates: list[NodeWithScore] = field(default_factory=list)
+    context: list[NodeWithScore] = field(default_factory=list)
+    answer: Optional[str] = None
+    source: str = ""
+    cypher: Optional[str] = None
+    result: Optional[ResultSet] = None
+    #: first taxonomy error hit on the way (stages record, never raise)
+    error: Optional[PipelineError] = None
+    sparse: bool = False
+    fallback_used: bool = False
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+    #: per-stage wall-clock timings (ms), filled by the kernel
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def evolve(self, **changes: Any) -> "QueryContext":
+        """Return a copy with ``changes`` applied (dataclasses.replace)."""
+        return replace(self, **changes)
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One pipeline step: context in, evolved context out."""
+
+    name: str
+
+    def run(self, ctx: QueryContext) -> QueryContext:
+        """Transform ``ctx``; record expected failures on ``ctx.error``."""
+        ...
+
+
+class SymbolicRetrievalStage:
+    """Text-to-Cypher translation + execution (the paper's symbolic path)."""
+
+    name = "symbolic"
+
+    def __init__(self, retriever: Retriever, sparse_row_threshold: int = 0) -> None:
+        self.retriever = retriever
+        self.sparse_row_threshold = sparse_row_threshold
+
+    def run(self, ctx: QueryContext) -> QueryContext:
+        symbolic = self.retriever.retrieve(ctx.question)
+        if symbolic.error is not None:
+            logger.debug(
+                "symbolic retrieval failed for %r: %s", ctx.question, symbolic.error
+            )
+        error = classify_symbolic_failure(symbolic, self.sparse_row_threshold)
+        sparse = symbolic.result is not None and (
+            len(symbolic.result.records) <= self.sparse_row_threshold
+        )
+        diagnostics = {
+            **ctx.diagnostics,
+            # deep copy: diagnostics must be safe to mutate post-hoc without
+            # reaching back into retriever/LLM-owned structures
+            "generation": copy.deepcopy(dict(symbolic.metadata)),
+            "symbolic_error": symbolic.error,
+            "fallback_used": False,
+        }
+        if error is not None:
+            diagnostics["error_class"] = error.to_dict()
+        return ctx.evolve(
+            symbolic=symbolic,
+            cypher=symbolic.cypher,
+            source=symbolic.source,
+            error=error,
+            sparse=sparse,
+            diagnostics=diagnostics,
+        )
+
+
+class FallbackRoutingStage:
+    """Applies the :class:`RoutingPolicy` to pick the generation route."""
+
+    name = "routing"
+
+    def __init__(self, policy: RoutingPolicy, vector_retrieve: VectorRetrieve = None) -> None:
+        self.policy = policy
+        self.vector_retrieve = vector_retrieve
+
+    def run(self, ctx: QueryContext) -> QueryContext:
+        decision = self.policy.route(ctx, self.vector_retrieve)
+        diagnostics = {**ctx.diagnostics, **copy.deepcopy(decision.diagnostics)}
+        if decision.fallback_used:
+            logger.debug(
+                "falling back to vector retrieval for %r (sparse=%s)",
+                ctx.question,
+                ctx.sparse,
+            )
+            diagnostics["fallback_used"] = True
+        diagnostics["route"] = self.policy.name
+        semantic = ctx.semantic
+        if decision.fallback_used or decision.retrieval.source == "vector":
+            semantic = decision.retrieval
+        return ctx.evolve(
+            semantic=semantic,
+            retrieval=decision.retrieval,
+            candidates=list(decision.candidates),
+            source=decision.source,
+            cypher=decision.cypher,
+            result=decision.result,
+            fallback_used=decision.fallback_used,
+            diagnostics=diagnostics,
+        )
+
+
+class RerankStage:
+    """LLM re-scoring of the routed candidates — exactly once per query."""
+
+    name = "rerank"
+
+    def __init__(self, reranker: Optional[LLMReranker]) -> None:
+        self.reranker = reranker
+
+    def run(self, ctx: QueryContext) -> QueryContext:
+        if self.reranker is None:
+            return ctx.evolve(context=list(ctx.candidates))
+        context = self.reranker.rerank(ctx.question, list(ctx.candidates))
+        return ctx.evolve(context=context)
+
+
+class SynthesisStage:
+    """Answer generation from the routed retrieval + surviving context."""
+
+    name = "synthesis"
+
+    def __init__(self, synthesizer: ResponseSynthesizer) -> None:
+        self.synthesizer = synthesizer
+
+    def run(self, ctx: QueryContext) -> QueryContext:
+        retrieval = ctx.retrieval or RetrievalResult(source=ctx.source)
+        answer = self.synthesizer.synthesize(ctx.question, retrieval, ctx.context)
+        return ctx.evolve(answer=answer)
+
+
+class StagePipeline:
+    """The kernel: runs stages in order, timing and observing each one."""
+
+    def __init__(
+        self,
+        stages: Iterable[Stage],
+        observers: Iterable[PipelineObserver] = (),
+    ) -> None:
+        self.stages = list(stages)
+        self._fanout = _ObserverFanout(observers)
+
+    def run(self, ctx: QueryContext) -> QueryContext:
+        for stage in self.stages:
+            self._fanout.emit("on_stage_start", stage.name, ctx)
+            error_before = ctx.error
+            started = time.perf_counter()
+            try:
+                ctx = stage.run(ctx)
+            except PipelineError as exc:
+                # A stage may raise taxonomy errors instead of recording
+                # them; normalise to the recorded form and keep going.
+                ctx = ctx.evolve(error=exc)
+            except Exception as exc:
+                wrapped = PipelineError(f"{type(exc).__name__}: {exc}")
+                self._fanout.emit("on_error", stage.name, wrapped, ctx)
+                raise
+            elapsed_ms = round((time.perf_counter() - started) * 1000.0, 4)
+            ctx.timings[stage.name] = elapsed_ms
+            if ctx.error is not None and ctx.error is not error_before:
+                self._fanout.emit("on_error", stage.name, ctx.error, ctx)
+            self._fanout.emit("on_stage_end", stage.name, ctx, elapsed_ms)
+        return ctx

@@ -6,8 +6,14 @@ Stdlib-only HTTP server exposing:
 * ``POST /cypher`` — body ``{"query": "...", "params": {...}}`` → rows
   (read-only queries only; writes are rejected with 403)
 * ``GET  /health`` — liveness and graph stats
+* ``GET  /metrics`` — per-stage latency aggregates and routing counters
+  from the pipeline's :class:`~repro.rag.observer.MetricsRegistry`
 * ``GET  /schema`` — the graph schema text ChatIYP prompts with
 * ``GET  /cookbook`` — the named IYP query cookbook
+
+``POST /ask`` responses carry a ``diagnostics`` object with the routing
+decision, the error-taxonomy class (when retrieval failed) and per-stage
+wall-clock timings recorded by the stage kernel.
 
 Start programmatically via :func:`make_server` (tests bind port 0), or from
 a shell::
@@ -66,6 +72,10 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
                     "relationships": store.relationship_count,
                 }
             )
+            return
+        if self.path == "/metrics":
+            metrics = getattr(self.chatiyp, "metrics", None)
+            self._send_json(metrics.snapshot() if metrics is not None else {"stages": {}, "counters": {}})
             return
         if self.path == "/schema":
             self._send_json({"schema": self.chatiyp.schema})

@@ -41,6 +41,14 @@ PUBLIC_API = {
         "VectorContextRetriever", "LLMReranker", "ResponseSynthesizer",
         "QuestionDecomposer", "DecomposingQueryEngine", "describe_node",
         "build_description_corpus",
+        # stage-execution kernel
+        "Stage", "QueryContext", "StagePipeline", "SymbolicRetrievalStage",
+        "FallbackRoutingStage", "RerankStage", "SynthesisStage",
+        # routing + observability + error taxonomy
+        "RoutingPolicy", "SymbolicFirstPolicy", "VectorOnlyPolicy",
+        "HybridMergePolicy", "make_routing_policy", "PipelineObserver",
+        "TracingObserver", "MetricsRegistry", "PipelineError",
+        "SymbolicTranslationError", "ExecutionError", "EmptyResult",
     ],
     "repro.core": [
         "ChatIYP", "ChatIYPConfig", "ChatSession", "Turn", "render_response",

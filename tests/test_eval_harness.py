@@ -203,6 +203,19 @@ class TestReports:
         assert len(lines) == len(report) + 1
         assert lines[0].startswith("qid,")
 
+    def test_csv_has_stage_latency_columns(self, report):
+        header = report_to_csv(report).splitlines()[0]
+        for stage in ("symbolic", "routing", "rerank", "synthesis"):
+            assert f"t_{stage}_ms" in header
+
+    def test_stage_latency_table(self, report):
+        from repro.eval import stage_latency_table
+
+        table = stage_latency_table(report)
+        assert "Per-stage pipeline latency" in table
+        for stage in ("symbolic", "routing", "rerank", "synthesis"):
+            assert stage in table
+
     def test_ascii_histogram_shape(self):
         rendered = ascii_histogram([0.1, 0.9, 0.9], bins=5)
         assert len(rendered.splitlines()) == 5

@@ -46,6 +46,14 @@ class TestExamples:
         assert "POST /ask" in proc.stdout
         assert "Server stopped." in proc.stdout
 
+    def test_custom_observer(self):
+        proc = run_example("custom_observer.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "TracingObserver spans" in proc.stdout
+        assert "MetricsRegistry snapshot" in proc.stdout
+        assert "SymbolicTranslationError" in proc.stdout
+        assert "synthesis" in proc.stdout
+
     def test_conversation(self):
         proc = run_example("conversation.py")
         assert proc.returncode == 0, proc.stderr

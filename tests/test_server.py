@@ -83,6 +83,23 @@ class TestHttpApi:
         status, _ = _post(server_port, "/nope", {"question": "x"})
         assert status == 404
 
+    def test_ask_exposes_stage_timings(self, server_port):
+        status, payload = _post(
+            server_port, "/ask", {"question": "Which country is AS2497 registered in?"}
+        )
+        assert status == 200
+        timings = payload["diagnostics"]["stage_timings"]
+        assert {"symbolic", "routing", "rerank", "synthesis"} <= set(timings)
+        assert payload["diagnostics"]["route"] == "symbolic-first"
+
+    def test_metrics_endpoint(self, server_port):
+        # At least one /ask ran earlier in the module: aggregates are live.
+        _post(server_port, "/ask", {"question": "Which country is AS2497 registered in?"})
+        status, payload = _get(server_port, "/metrics")
+        assert status == 200
+        assert payload["stages"]["synthesis"]["calls"] >= 1
+        assert payload["stages"]["symbolic"]["mean_ms"] >= 0.0
+
 
 class TestConcurrency:
     def test_parallel_asks(self, server_port):
