@@ -8,7 +8,8 @@ and the underlying Cypher query for transparency, as the paper's UI does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from ..cypher.executor import CypherEngine
@@ -27,6 +28,7 @@ from ..rag.routing import make_routing_policy
 from ..rag.synthesizer import ResponseSynthesizer
 from ..rag.text2cypher_retriever import TextToCypherRetriever
 from ..rag.vector_retriever import VectorContextRetriever
+from ..serving import AnswerCache, CircuitBreaker, Deadline, RetryPolicy
 from .config import ChatIYPConfig
 from .prompts import answer_prompt, rerank_prompt, text2cypher_prompt
 
@@ -70,6 +72,8 @@ class ChatResponse:
                 "symbolic_error": self.diagnostics.get("symbolic_error"),
                 "error_class": self.diagnostics.get("error_class"),
                 "stage_timings": self.diagnostics.get("stage_timings", {}),
+                "degraded": list(self.diagnostics.get("degraded", ())),
+                "cache_hit": bool(self.diagnostics.get("cache_hit", False)),
             },
         }
 
@@ -131,6 +135,33 @@ class ChatIYP:
         # aggregates + routing counters); the HTTP server serves it under
         # /metrics, and callers can attach further observers (tracing, ...).
         self.metrics = MetricsRegistry()
+        # Serving hardening: circuit breaker around the symbolic path
+        # (state transitions are counted in the metrics registry), retry
+        # with seeded jittered backoff for transient LLM-stage failures,
+        # and a bounded LRU answer cache keyed so that config changes and
+        # graph mutations invalidate automatically.
+        self.breaker: Optional[CircuitBreaker] = None
+        if self.config.breaker_failure_threshold > 0:
+            self.breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                reset_after_ms=self.config.breaker_reset_ms,
+                on_transition=lambda old, new: self.metrics.increment(
+                    f"breaker.{new.value}"
+                ),
+            )
+        retry_policy = None
+        if self.config.llm_retry_attempts > 1:
+            retry_policy = RetryPolicy(
+                attempts=self.config.llm_retry_attempts,
+                backoff_ms=self.config.llm_retry_backoff_ms,
+                seed=self.config.seed,
+            )
+        self.answer_cache: Optional[AnswerCache] = (
+            AnswerCache(self.config.answer_cache_size)
+            if self.config.answer_cache_size > 0
+            else None
+        )
+        self._config_fingerprint = self.config.fingerprint()
         self.pipeline = RetrieverQueryEngine(
             text2cypher=text2cypher,
             vector=vector,
@@ -140,6 +171,8 @@ class ChatIYP:
             sparse_row_threshold=self.config.sparse_row_threshold,
             routing_policy=make_routing_policy(self.config.routing_policy),
             observers=[self.metrics, *(observers or [])],
+            breaker=self.breaker,
+            retry_policy=retry_policy,
         )
         if self.config.use_decomposition:
             from ..rag.decompose import DecomposingQueryEngine, QuestionDecomposer
@@ -150,8 +183,16 @@ class ChatIYP:
 
     # ------------------------------------------------------------------
 
-    def ask(self, question: str) -> ChatResponse:
-        """Answer a natural-language question about the IYP graph."""
+    def ask(self, question: str, deadline_ms: Optional[float] = None) -> ChatResponse:
+        """Answer a natural-language question about the IYP graph.
+
+        ``deadline_ms`` caps this request's wall-clock budget (falling back
+        to ``config.deadline_ms``; ``None`` = unbounded).  A blown budget
+        degrades the pipeline gracefully — the response then lists what was
+        shed under ``diagnostics["degraded"]``.  Answers are served from
+        the bounded LRU cache when an identical question was answered under
+        the same configuration against the same graph version.
+        """
         if not question or not question.strip():
             return ChatResponse(
                 question=question,
@@ -160,9 +201,39 @@ class ChatIYP:
                 retrieval_source="none",
                 used_fallback=False,
             )
-        pipeline_response: PipelineResponse = self.pipeline.query(question.strip())
-        return ChatResponse(
-            question=question.strip(),
+        text = question.strip()
+        self.metrics.increment("ask.requests")
+
+        cache_key = None
+        if self.answer_cache is not None:
+            cache_key = AnswerCache.key(
+                text, self._config_fingerprint, self.store.stats_version
+            )
+            cached = self.answer_cache.get(cache_key)
+            if cached is not None:
+                self.metrics.increment("cache.hit")
+                # Copy-on-hit: callers may mutate diagnostics/context of
+                # their response without corrupting the cached entry.
+                return replace(
+                    cached,
+                    context_snippets=list(cached.context_snippets),
+                    diagnostics={
+                        **copy.deepcopy(cached.diagnostics),
+                        "cache_hit": True,
+                    },
+                )
+            self.metrics.increment("cache.miss")
+
+        budget_ms = deadline_ms if deadline_ms is not None else self.config.deadline_ms
+        deadline = Deadline.start(budget_ms) if budget_ms else None
+        pipeline_response: PipelineResponse = self.pipeline.query(
+            text, deadline=deadline
+        )
+        degraded = pipeline_response.diagnostics.get("degraded", ())
+        for reason in degraded:
+            self.metrics.increment(f"degraded.{reason}")
+        response = ChatResponse(
+            question=text,
             answer=pipeline_response.answer,
             cypher=pipeline_response.cypher,
             retrieval_source=pipeline_response.retrieval_source,
@@ -171,10 +242,22 @@ class ChatIYP:
             result=pipeline_response.result,
             diagnostics=pipeline_response.diagnostics,
         )
+        # Degraded answers are artifacts of load/deadline pressure, not the
+        # question — never let them shadow a full answer in the cache.
+        if cache_key is not None and not degraded:
+            self.answer_cache.put(cache_key, response)
+        return response
 
     def run_cypher(self, query: str, **params: Any) -> ResultSet:
         """Escape hatch: run raw Cypher against the underlying graph."""
         return self.engine.run(query, **params)
+
+    def serving_snapshot(self) -> dict[str, Any]:
+        """Live state of the serving-hardening layer (for ``/metrics``)."""
+        return {
+            "cache": self.answer_cache.stats() if self.answer_cache else None,
+            "breaker": self.breaker.snapshot() if self.breaker else None,
+        }
 
     @property
     def schema(self) -> str:

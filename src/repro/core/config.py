@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, fields
 
 __all__ = ["ChatIYPConfig"]
 
@@ -37,3 +38,38 @@ class ChatIYPConfig:
     error_slope: float = 1.6
     error_power: float = 1.6
     syntax_error_share: float = 0.18
+
+    # -- serving hardening -------------------------------------------------
+    # Default per-request time budget in milliseconds (None = unbounded).
+    # When the budget is blown mid-request, stages degrade gracefully
+    # (vector-only routing, skipped rerank, partial synthesis) and record
+    # the decisions under diagnostics["degraded"].
+    deadline_ms: float | None = None
+    # Bounded LRU over full answers, keyed by normalized question + config
+    # fingerprint + graph statistics version (mutations invalidate). 0
+    # disables caching.
+    answer_cache_size: int = 256
+    # Circuit breaker around the symbolic path: trips open after this many
+    # consecutive execution-class failures (0 disables the breaker) and
+    # probes recovery after the cooldown. Off by default — the simulated
+    # backbone's calibrated error rate is model noise, not engine health,
+    # and tripping on it would skew the paper's evaluation. Serving
+    # deployments (``python -m repro.server --serve``) switch it on.
+    breaker_failure_threshold: int = 0
+    breaker_reset_ms: float = 30_000.0
+    # Retry-with-jittered-backoff for transient (raised) failures in the
+    # LLM-facing stages. Total tries per stage call; 1 = no retry.
+    llm_retry_attempts: int = 2
+    llm_retry_backoff_ms: float = 25.0
+
+    def fingerprint(self) -> str:
+        """Stable digest of every knob — part of the answer-cache key.
+
+        Two instances with any differing field never share cache entries;
+        the digest is insensitive to field ordering and process identity.
+        """
+        parts = [
+            f"{spec.name}={getattr(self, spec.name)!r}"
+            for spec in sorted(fields(self), key=lambda spec: spec.name)
+        ]
+        return hashlib.sha256(";".join(parts).encode()).hexdigest()[:16]

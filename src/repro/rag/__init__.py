@@ -3,6 +3,8 @@
 from .decompose import DecomposingQueryEngine, DecompositionPlan, QuestionDecomposer
 from .describe import DESCRIBED_LABELS, build_description_corpus, describe_node
 from .errors import (
+    CircuitOpen,
+    DeadlineExceeded,
     EmptyResult,
     ExecutionError,
     PipelineError,
@@ -81,6 +83,8 @@ __all__ = [
     "SymbolicTranslationError",
     "ExecutionError",
     "EmptyResult",
+    "DeadlineExceeded",
+    "CircuitOpen",
     "classify_symbolic_failure",
     "describe_node",
     "build_description_corpus",

@@ -144,11 +144,11 @@ class DecomposingQueryEngine:
         self.pipeline = pipeline
         self.decomposer = decomposer
 
-    def query(self, question: str) -> PipelineResponse:
+    def query(self, question: str, deadline: Any = None) -> PipelineResponse:
         plan = self.decomposer.decompose(question)
         if plan is None:
-            return self.pipeline.query(question)
-        return self._execute_plan(question, plan)
+            return self.pipeline.query(question, deadline=deadline)
+        return self._execute_plan(question, plan, deadline=deadline)
 
     # ------------------------------------------------------------------
 
@@ -156,7 +156,9 @@ class DecomposingQueryEngine:
     #: (stopword-only additions leave the semantic-parser coverage intact)
     _RETRY_DECORATIONS = ("{q}", "And {q}", "{q} please", "And {q} please")
 
-    def _ask_checked(self, question: str, expect: tuple[str, ...]) -> PipelineResponse:
+    def _ask_checked(
+        self, question: str, expect: tuple[str, ...], deadline: Any = None
+    ) -> PipelineResponse:
         """Ask through the pipeline, re-asking when validation fails.
 
         Validation: the generated Cypher must mention every expected
@@ -169,7 +171,9 @@ class DecomposingQueryEngine:
         response = None
         fragment_valid: Optional[PipelineResponse] = None
         for decoration in self._RETRY_DECORATIONS:
-            response = self.pipeline.query(decoration.format(q=question))
+            response = self.pipeline.query(
+                decoration.format(q=question), deadline=deadline
+            )
             if not expect:
                 return response
             cypher = response.cypher or ""
@@ -188,12 +192,14 @@ class DecomposingQueryEngine:
         response.result = None
         return response
 
-    def _execute_plan(self, question: str, plan: DecompositionPlan) -> PipelineResponse:
-        first_response = self._ask_checked(plan.first, plan.first_expect)
+    def _execute_plan(
+        self, question: str, plan: DecompositionPlan, deadline: Any = None
+    ) -> PipelineResponse:
+        first_response = self._ask_checked(plan.first, plan.first_expect, deadline)
         sub_cyphers = [f"-- {plan.first}\n{first_response.cypher or '<fallback>'}"]
         if first_response.result is None or not first_response.result.records:
             # Can't enumerate items; degrade gracefully to the plain pipeline.
-            response = self.pipeline.query(question)
+            response = self.pipeline.query(question, deadline=deadline)
             response.diagnostics["decomposition"] = {
                 "plan": plan.name, "status": "first_step_empty",
             }
@@ -206,7 +212,7 @@ class DecomposingQueryEngine:
         for item in items:
             sub_question = plan.per_item_template.format(item=item)
             expect = tuple(frag.format(item=item) for frag in plan.per_item_expect)
-            sub_response = self._ask_checked(sub_question, expect)
+            sub_response = self._ask_checked(sub_question, expect, deadline)
             per_item.append((item, sub_response))
             sub_cyphers.append(
                 f"-- {sub_question}\n{sub_response.cypher or '<fallback>'}"

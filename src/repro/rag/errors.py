@@ -7,7 +7,11 @@ hit on its way through the stages maps to exactly one class:
 * :class:`SymbolicTranslationError` — the LLM produced no Cypher at all;
 * :class:`ExecutionError` — generated Cypher failed to parse or run;
 * :class:`EmptyResult` — the query ran but returned no more rows than the
-  configured sparsity threshold, so the router treats it as a miss.
+  configured sparsity threshold, so the router treats it as a miss;
+* :class:`DeadlineExceeded` — the per-request time budget ran out before
+  the stage could run (serving hardening; the stage degrades instead);
+* :class:`CircuitOpen` — the symbolic path's circuit breaker refused the
+  attempt, so the router falls back to vector retrieval.
 
 The classes are exceptions so callers *may* raise them, but the pipeline
 itself never throws for expected failures: stages record the instance on
@@ -26,6 +30,8 @@ __all__ = [
     "SymbolicTranslationError",
     "ExecutionError",
     "EmptyResult",
+    "DeadlineExceeded",
+    "CircuitOpen",
     "classify_symbolic_failure",
 ]
 
@@ -61,6 +67,27 @@ class EmptyResult(PipelineError):
     """The query executed but produced no usable rows (sparse result)."""
 
     kind = "empty_result"
+
+
+class DeadlineExceeded(PipelineError):
+    """The request's time budget ran out before the stage could run.
+
+    Raised nowhere: stages that find the deadline blown record this and
+    degrade to the cheapest viable route (vector-only retrieval, skipped
+    rerank, or a partial answer) instead of hanging.
+    """
+
+    kind = "deadline"
+
+
+class CircuitOpen(PipelineError):
+    """The symbolic path's circuit breaker is open; the attempt was skipped.
+
+    Recorded so the router falls back to vector retrieval while the
+    breaker cools down; never counts as a breaker failure itself.
+    """
+
+    kind = "circuit_open"
 
 
 def classify_symbolic_failure(

@@ -19,6 +19,7 @@ Two production-shaped implementations ship with the kernel:
 from __future__ import annotations
 
 import logging
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional
 
@@ -87,36 +88,51 @@ class StageSpan:
 
 
 class TracingObserver(PipelineObserver):
-    """Collects an ordered span per stage run — a poor man's trace."""
+    """Collects an ordered span per stage run — a poor man's trace.
+
+    Thread-safe: concurrent requests sharing one observer interleave their
+    spans in the recorded order without losing or corrupting any — span
+    and open-table mutation happens under an internal lock.
+    """
 
     def __init__(self) -> None:
         self.spans: list[StageSpan] = []
         self._open: dict[str, StageSpan] = {}
+        self._lock = threading.Lock()
 
     def on_stage_start(self, stage: str, ctx: "QueryContext") -> None:
-        span = StageSpan(stage=stage, index=len(self.spans) + len(self._open))
-        self._open[stage] = span
+        with self._lock:
+            span = StageSpan(stage=stage, index=len(self.spans) + len(self._open))
+            self._open[stage] = span
 
     def on_stage_end(self, stage: str, ctx: "QueryContext", elapsed_ms: float) -> None:
-        span = self._open.pop(stage, None) or StageSpan(stage=stage, index=len(self.spans))
-        span.elapsed_ms = elapsed_ms
-        self.spans.append(span)
+        with self._lock:
+            span = self._open.pop(stage, None) or StageSpan(
+                stage=stage, index=len(self.spans)
+            )
+            span.elapsed_ms = elapsed_ms
+            self.spans.append(span)
 
     def on_error(self, stage: str, error: "PipelineError", ctx: "QueryContext") -> None:
-        span = self._open.get(stage)
-        if span is not None:
-            span.error = type(error).__name__
-        else:  # error surfaced outside an open span (e.g. re-raised later)
-            self.spans.append(
-                StageSpan(stage=stage, index=len(self.spans), error=type(error).__name__)
-            )
+        with self._lock:
+            span = self._open.get(stage)
+            if span is not None:
+                span.error = type(error).__name__
+            else:  # error surfaced outside an open span (e.g. re-raised later)
+                self.spans.append(
+                    StageSpan(
+                        stage=stage, index=len(self.spans), error=type(error).__name__
+                    )
+                )
 
     def to_dicts(self) -> list[dict]:
-        return [span.to_dict() for span in self.spans]
+        with self._lock:
+            return [span.to_dict() for span in self.spans]
 
     def reset(self) -> None:
-        self.spans.clear()
-        self._open.clear()
+        with self._lock:
+            self.spans.clear()
+            self._open.clear()
 
 
 @dataclass
@@ -156,33 +172,48 @@ class MetricsRegistry(PipelineObserver):
     Per-stage :class:`StageStats` plus free-form named counters
     (``increment``), so stages and policies can count routing decisions
     without knowing how the numbers are consumed.
+
+    Thread-safe: counter increments and stage-stat mutation happen under an
+    internal lock, so concurrent ``/ask`` requests never lose or duplicate
+    updates and ``snapshot()`` always returns a consistent view.
     """
 
     def __init__(self) -> None:
         self.stages: dict[str, StageStats] = {}
         self.counters: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     # -- observer hooks ----------------------------------------------------
 
     def on_stage_end(self, stage: str, ctx: "QueryContext", elapsed_ms: float) -> None:
-        self.stages.setdefault(stage, StageStats()).record(elapsed_ms)
+        with self._lock:
+            self.stages.setdefault(stage, StageStats()).record(elapsed_ms)
 
     def on_error(self, stage: str, error: "PipelineError", ctx: "QueryContext") -> None:
-        self.stages.setdefault(stage, StageStats()).errors += 1
-        self.increment(f"error.{error.kind}")
+        with self._lock:
+            self.stages.setdefault(stage, StageStats()).errors += 1
+            self._increment_locked(f"error.{error.kind}", 1)
 
     # -- registry ----------------------------------------------------------
 
-    def increment(self, counter: str, by: int = 1) -> None:
+    def _increment_locked(self, counter: str, by: int) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + by
+
+    def increment(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            self._increment_locked(counter, by)
 
     def snapshot(self) -> dict:
         """JSON-friendly dump of every stage aggregate and counter."""
-        return {
-            "stages": {name: stats.to_dict() for name, stats in sorted(self.stages.items())},
-            "counters": dict(sorted(self.counters.items())),
-        }
+        with self._lock:
+            return {
+                "stages": {
+                    name: stats.to_dict() for name, stats in sorted(self.stages.items())
+                },
+                "counters": dict(sorted(self.counters.items())),
+            }
 
     def reset(self) -> None:
-        self.stages.clear()
-        self.counters.clear()
+        with self._lock:
+            self.stages.clear()
+            self.counters.clear()

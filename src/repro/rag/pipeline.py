@@ -25,6 +25,9 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 from ..cypher.result import ResultSet
+from ..serving.breaker import CircuitBreaker
+from ..serving.deadline import Deadline
+from ..serving.retry import RetryPolicy
 from .observer import PipelineObserver
 from .reranker import LLMReranker
 from .routing import RoutingPolicy, SymbolicFirstPolicy, VectorRetrieve
@@ -75,6 +78,8 @@ class RetrieverQueryEngine:
         sparse_row_threshold: int = 0,
         routing_policy: Optional[RoutingPolicy] = None,
         observers: Iterable[PipelineObserver] = (),
+        breaker: Optional[CircuitBreaker] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if synthesizer is None:
             raise ValueError("a ResponseSynthesizer is required")
@@ -91,6 +96,10 @@ class RetrieverQueryEngine:
         self.vector_fallback = vector_fallback
         self.sparse_row_threshold = sparse_row_threshold
         self.observers = list(observers)
+        # Serving hardening (all optional): a circuit breaker guarding the
+        # symbolic path and a retry policy for the LLM-facing stages.
+        self.breaker = breaker
+        self.retry_policy = retry_policy
 
     # ------------------------------------------------------------------
 
@@ -112,17 +121,26 @@ class RetrieverQueryEngine:
         stages: list[Stage] = []
         if self.text2cypher is not None and self.routing_policy.uses_symbolic:
             stages.append(
-                SymbolicRetrievalStage(self.text2cypher, self.sparse_row_threshold)
+                SymbolicRetrievalStage(
+                    self.text2cypher, self.sparse_row_threshold, breaker=self.breaker
+                )
             )
         stages.append(FallbackRoutingStage(self.routing_policy, self._vector_retrieve()))
-        stages.append(RerankStage(self.reranker))
-        stages.append(SynthesisStage(self.synthesizer))
+        stages.append(RerankStage(self.reranker, retry=self.retry_policy))
+        stages.append(SynthesisStage(self.synthesizer, retry=self.retry_policy))
         return stages
 
-    def query(self, question: str) -> PipelineResponse:
-        """Run the full staged pipeline for one question."""
+    def query(
+        self, question: str, deadline: Optional[Deadline] = None
+    ) -> PipelineResponse:
+        """Run the full staged pipeline for one question.
+
+        ``deadline`` (optional) is the request's remaining time budget; a
+        blown budget degrades stages gracefully instead of hanging, with
+        every degradation recorded under ``diagnostics["degraded"]``.
+        """
         kernel = StagePipeline(self.build_stages(), self.observers)
-        ctx = kernel.run(QueryContext(question=question))
+        ctx = kernel.run(QueryContext(question=question, deadline=deadline))
         diagnostics = dict(ctx.diagnostics)
         diagnostics["stage_timings"] = dict(ctx.timings)
         return PipelineResponse(

@@ -53,6 +53,10 @@ class RouteDecision:
     fallback_used: bool = False
     #: extra keys merged into the response diagnostics by the routing stage
     diagnostics: dict = field(default_factory=dict)
+    #: graceful-degradation markers this decision incurred (e.g. a skipped
+    #: semantic arm under a blown deadline); appended to
+    #: ``diagnostics["degraded"]`` by the routing stage
+    degraded: tuple = ()
 
 
 class RoutingPolicy(ABC):
@@ -150,6 +154,19 @@ class HybridMergePolicy(RoutingPolicy):
     def route(self, ctx: "QueryContext", vector_retrieve: VectorRetrieve) -> RouteDecision:
         symbolic = ctx.symbolic or RetrievalResult(source="text2cypher")
         symbolic_ok = symbolic.succeeded and not ctx.sparse
+        degraded: tuple = ()
+        # Deadline degradation: when the budget is blown and the symbolic
+        # side already has usable rows, skip the semantic arm — merging is
+        # an enrichment, not a requirement, and vector retrieval is the
+        # expensive half of this policy.
+        if (
+            symbolic_ok
+            and vector_retrieve is not None
+            and ctx.deadline is not None
+            and ctx.deadline.expired
+        ):
+            vector_retrieve = None
+            degraded = ("hybrid_semantic_skipped_deadline",)
         semantic = vector_retrieve(ctx.question) if vector_retrieve is not None else None
 
         merged: list[NodeWithScore] = []
@@ -184,6 +201,7 @@ class HybridMergePolicy(RoutingPolicy):
             cypher=symbolic.cypher,
             fallback_used=not symbolic_ok and semantic is not None,
             diagnostics={"sparse": bool(ctx.sparse)} if not symbolic_ok else {},
+            degraded=degraded,
         )
 
 

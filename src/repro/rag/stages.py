@@ -22,8 +22,17 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional, Protocol, runtime_checkable
 
-from ..cypher.result import ResultSet
-from .errors import PipelineError, classify_symbolic_failure
+from ..cypher.result import ResultSet, render_value
+from ..serving.breaker import CircuitBreaker
+from ..serving.deadline import Deadline
+from ..serving.retry import RetryPolicy
+from .errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    ExecutionError,
+    PipelineError,
+    classify_symbolic_failure,
+)
 from .observer import PipelineObserver, _ObserverFanout
 from .reranker import LLMReranker
 from .retriever import Retriever
@@ -39,11 +48,26 @@ __all__ = [
     "RerankStage",
     "SynthesisStage",
     "StagePipeline",
+    "mark_degraded",
 ]
 
 # Stable logger name: pipeline events stayed on "repro.rag.pipeline" when the
 # engine was split into stages, so existing log-capture consumers keep working.
 logger = logging.getLogger("repro.rag.pipeline")
+
+
+def mark_degraded(diagnostics: dict[str, Any], reason: str) -> dict[str, Any]:
+    """Return ``diagnostics`` with ``reason`` appended to the degraded list.
+
+    ``diagnostics["degraded"]`` is the machine-readable record of every
+    graceful-degradation decision a request hit (skipped stages, breaker
+    reroutes, partial synthesis); callers surface it in API responses and
+    count it in metrics.
+    """
+    degraded = list(diagnostics.get("degraded", ()))
+    if reason not in degraded:
+        degraded.append(reason)
+    return {**diagnostics, "degraded": degraded}
 
 
 @dataclass(frozen=True)
@@ -75,6 +99,9 @@ class QueryContext:
     diagnostics: dict[str, Any] = field(default_factory=dict)
     #: per-stage wall-clock timings (ms), filled by the kernel
     timings: dict[str, float] = field(default_factory=dict)
+    #: per-request time budget (``None`` = unbounded); stages check the
+    #: remaining time and degrade gracefully once it is exhausted
+    deadline: Optional[Deadline] = None
 
     def evolve(self, **changes: Any) -> "QueryContext":
         """Return a copy with ``changes`` applied (dataclasses.replace)."""
@@ -93,21 +120,79 @@ class Stage(Protocol):
 
 
 class SymbolicRetrievalStage:
-    """Text-to-Cypher translation + execution (the paper's symbolic path)."""
+    """Text-to-Cypher translation + execution (the paper's symbolic path).
+
+    Serving hardening hooks: when the request deadline is already blown the
+    stage skips translation entirely (recording :class:`DeadlineExceeded`
+    so routing degrades to the vector path), and an optional
+    :class:`~repro.serving.breaker.CircuitBreaker` gates the attempt —
+    execution-class failures feed the breaker, and while it is open every
+    symbolic attempt is skipped with :class:`CircuitOpen` recorded.
+    """
 
     name = "symbolic"
 
-    def __init__(self, retriever: Retriever, sparse_row_threshold: int = 0) -> None:
+    def __init__(
+        self,
+        retriever: Retriever,
+        sparse_row_threshold: int = 0,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
         self.retriever = retriever
         self.sparse_row_threshold = sparse_row_threshold
+        self.breaker = breaker
+
+    def _skip(
+        self, ctx: QueryContext, error: PipelineError, reason: str
+    ) -> QueryContext:
+        """Degrade: record ``error`` without attempting symbolic retrieval."""
+        symbolic = RetrievalResult(source="text2cypher", error=error.kind)
+        diagnostics = mark_degraded(
+            {
+                **ctx.diagnostics,
+                "symbolic_error": error.kind,
+                "fallback_used": False,
+                "error_class": error.to_dict(),
+            },
+            reason,
+        )
+        return ctx.evolve(
+            symbolic=symbolic,
+            error=error,
+            sparse=True,
+            source=symbolic.source,
+            diagnostics=diagnostics,
+        )
 
     def run(self, ctx: QueryContext) -> QueryContext:
+        if ctx.deadline is not None and ctx.deadline.expired:
+            return self._skip(
+                ctx,
+                DeadlineExceeded("deadline exhausted before symbolic retrieval"),
+                "symbolic_skipped_deadline",
+            )
+        if self.breaker is not None and not self.breaker.allow():
+            return self._skip(
+                ctx,
+                CircuitOpen("symbolic circuit breaker is open"),
+                "symbolic_skipped_breaker_open",
+            )
         symbolic = self.retriever.retrieve(ctx.question)
         if symbolic.error is not None:
             logger.debug(
                 "symbolic retrieval failed for %r: %s", ctx.question, symbolic.error
             )
         error = classify_symbolic_failure(symbolic, self.sparse_row_threshold)
+        if self.breaker is not None:
+            # Execution-class failures are infrastructure signals; a clean
+            # run heals the breaker.  Translation misses and sparse results
+            # say nothing about engine health, so they stay neutral.
+            if isinstance(error, ExecutionError):
+                self.breaker.record_failure()
+            elif error is None:
+                self.breaker.record_success()
+            else:
+                self.breaker.record_neutral()
         sparse = symbolic.result is not None and (
             len(symbolic.result.records) <= self.sparse_row_threshold
         )
@@ -143,6 +228,8 @@ class FallbackRoutingStage:
     def run(self, ctx: QueryContext) -> QueryContext:
         decision = self.policy.route(ctx, self.vector_retrieve)
         diagnostics = {**ctx.diagnostics, **copy.deepcopy(decision.diagnostics)}
+        for reason in decision.degraded:
+            diagnostics = mark_degraded(diagnostics, reason)
         if decision.fallback_used:
             logger.debug(
                 "falling back to vector retrieval for %r (sparse=%s)",
@@ -167,31 +254,104 @@ class FallbackRoutingStage:
 
 
 class RerankStage:
-    """LLM re-scoring of the routed candidates — exactly once per query."""
+    """LLM re-scoring of the routed candidates — exactly once per query.
+
+    Reranking is the cheapest stage to shed: when the request deadline is
+    blown the stage passes candidates through untouched (recording
+    ``rerank_skipped_deadline``), and transient reranker failures are
+    retried under the optional :class:`~repro.serving.retry.RetryPolicy`.
+    """
 
     name = "rerank"
 
-    def __init__(self, reranker: Optional[LLMReranker]) -> None:
+    def __init__(
+        self,
+        reranker: Optional[LLMReranker],
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.reranker = reranker
+        self.retry = retry
 
     def run(self, ctx: QueryContext) -> QueryContext:
         if self.reranker is None:
             return ctx.evolve(context=list(ctx.candidates))
-        context = self.reranker.rerank(ctx.question, list(ctx.candidates))
+        if ctx.deadline is not None and ctx.deadline.expired:
+            return ctx.evolve(
+                context=list(ctx.candidates),
+                diagnostics=mark_degraded(ctx.diagnostics, "rerank_skipped_deadline"),
+            )
+        candidates = list(ctx.candidates)
+        if self.retry is not None:
+            context = self.retry.run(
+                self.reranker.rerank, ctx.question, candidates, deadline=ctx.deadline
+            )
+        else:
+            context = self.reranker.rerank(ctx.question, candidates)
         return ctx.evolve(context=context)
 
 
 class SynthesisStage:
-    """Answer generation from the routed retrieval + surviving context."""
+    """Answer generation from the routed retrieval + surviving context.
+
+    On a blown deadline the stage degrades to a *partial answer* built
+    directly from the structured rows / context snippets already in hand —
+    no LLM call — and records ``synthesis_partial_deadline``.  Transient
+    synthesizer failures are retried under the optional
+    :class:`~repro.serving.retry.RetryPolicy`.
+    """
 
     name = "synthesis"
 
-    def __init__(self, synthesizer: ResponseSynthesizer) -> None:
+    #: how many rows/snippets a degraded partial answer may surface
+    _PARTIAL_LIMIT = 3
+
+    def __init__(
+        self,
+        synthesizer: ResponseSynthesizer,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.synthesizer = synthesizer
+        self.retry = retry
+
+    def _partial_answer(self, ctx: QueryContext) -> str:
+        """Cheapest viable answer from whatever the pipeline gathered."""
+        if ctx.result is not None and ctx.result.records:
+            rows = [
+                ", ".join(
+                    f"{key}: {render_value(value)}" for key, value in record.items()
+                )
+                for record in ctx.result.records[: self._PARTIAL_LIMIT]
+            ]
+            return "Partial answer (deadline exceeded): " + "; ".join(rows)
+        snippets = [item.node.text for item in ctx.context[: self._PARTIAL_LIMIT]]
+        if not snippets:
+            snippets = [item.node.text for item in ctx.candidates[: self._PARTIAL_LIMIT]]
+        if snippets:
+            return "Partial answer (deadline exceeded): " + " ".join(snippets)
+        return (
+            "The request deadline was exceeded before an answer could be "
+            "generated. Please retry with a larger budget."
+        )
 
     def run(self, ctx: QueryContext) -> QueryContext:
+        if ctx.deadline is not None and ctx.deadline.expired:
+            return ctx.evolve(
+                answer=self._partial_answer(ctx),
+                diagnostics=mark_degraded(
+                    ctx.diagnostics, "synthesis_partial_deadline"
+                ),
+            )
         retrieval = ctx.retrieval or RetrievalResult(source=ctx.source)
-        answer = self.synthesizer.synthesize(ctx.question, retrieval, ctx.context)
+        if self.retry is not None:
+            answer = self.retry.run(
+                self.synthesizer.synthesize,
+                ctx.question,
+                retrieval,
+                ctx.context,
+                deadline=ctx.deadline,
+            )
+        else:
+            answer = self.synthesizer.synthesize(ctx.question, retrieval, ctx.context)
         return ctx.evolve(answer=answer)
 
 

@@ -2,18 +2,29 @@
 
 Stdlib-only HTTP server exposing:
 
-* ``POST /ask`` — body ``{"question": "..."}`` → answer + Cypher + provenance
+* ``POST /ask`` — body ``{"question": "...", "deadline_ms": 500}`` →
+  answer + Cypher + provenance (``deadline_ms`` optional, capped by the
+  server default)
 * ``POST /cypher`` — body ``{"query": "...", "params": {...}}`` → rows
   (read-only queries only; writes are rejected with 403)
 * ``GET  /health`` — liveness and graph stats
-* ``GET  /metrics`` — per-stage latency aggregates and routing counters
-  from the pipeline's :class:`~repro.rag.observer.MetricsRegistry`
+* ``GET  /metrics`` — per-stage latency aggregates, routing/cache/shed
+  counters from the pipeline's
+  :class:`~repro.rag.observer.MetricsRegistry`, plus a ``serving`` section
+  with live cache, circuit-breaker and admission-controller state
 * ``GET  /schema`` — the graph schema text ChatIYP prompts with
 * ``GET  /cookbook`` — the named IYP query cookbook
 
 ``POST /ask`` responses carry a ``diagnostics`` object with the routing
-decision, the error-taxonomy class (when retrieval failed) and per-stage
-wall-clock timings recorded by the stage kernel.
+decision, the error-taxonomy class (when retrieval failed), per-stage
+wall-clock timings recorded by the stage kernel, the graceful-degradation
+markers (``degraded``) and whether the answer came from the cache.
+
+Serving hardening: every ``/ask`` passes an
+:class:`~repro.serving.AdmissionController` — at most ``max_concurrency``
+requests run at once, a bounded queue absorbs bursts, and everything
+beyond that is shed immediately with ``503`` + ``Retry-After``.  Bodies
+over 64 KiB are refused with ``413``.
 
 Start programmatically via :func:`make_server` (tests bind port 0), or from
 a shell::
@@ -26,14 +37,29 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
 
 from ..core.chatiyp import ChatIYP
 from ..cypher import CypherError, CypherSyntaxError, is_read_only, render_value
 from ..iyp.queries import COOKBOOK
+from ..serving import AdmissionController
 
 __all__ = ["make_server", "ChatIYPRequestHandler", "serve"]
 
 _MAX_BODY = 64 * 1024
+
+
+class _ChatIYPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for bursty clients.
+
+    The stdlib default listen backlog (5) drops connections under
+    concurrent load before admission control can shed them politely;
+    a deeper backlog lets the controller answer 503 + Retry-After
+    instead of resetting the TCP connection.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
 
 
 class ChatIYPRequestHandler(BaseHTTPRequestHandler):
@@ -47,13 +73,22 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
 
     # -- helpers ----------------------------------------------------------
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self, payload: dict, status: int = 200, headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
+
+    def _metrics_increment(self, counter: str) -> None:
+        metrics = getattr(self.chatiyp, "metrics", None)
+        if metrics is not None:
+            metrics.increment(counter)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if getattr(self.server, "verbose", False):  # type: ignore[attr-defined]
@@ -75,7 +110,21 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
             return
         if self.path == "/metrics":
             metrics = getattr(self.chatiyp, "metrics", None)
-            self._send_json(metrics.snapshot() if metrics is not None else {"stages": {}, "counters": {}})
+            payload = (
+                metrics.snapshot()
+                if metrics is not None
+                else {"stages": {}, "counters": {}}
+            )
+            serving = {}
+            snapshot = getattr(self.chatiyp, "serving_snapshot", None)
+            if callable(snapshot):
+                serving.update(snapshot())
+            admission = getattr(self.server, "admission", None)
+            serving["admission"] = (
+                admission.snapshot() if admission is not None else None
+            )
+            payload["serving"] = serving
+            self._send_json(payload)
             return
         if self.path == "/schema":
             self._send_json({"schema": self.chatiyp.schema})
@@ -99,7 +148,12 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
 
     def _read_json_body(self) -> dict | None:
         length = int(self.headers.get("Content-Length", 0))
-        if length <= 0 or length > _MAX_BODY:
+        if length > _MAX_BODY:
+            self._send_json(
+                {"error": f"request body exceeds {_MAX_BODY} bytes"}, status=413
+            )
+            return None
+        if length <= 0:
             self._send_json({"error": "bad request body"}, status=400)
             return None
         try:
@@ -121,16 +175,47 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json({"error": "not found"}, status=404)
 
+    def _shed(self, retry_after_s: float) -> None:
+        """Refuse the request with 503 + Retry-After (load shedding)."""
+        self._metrics_increment("server.shed")
+        self._send_json(
+            {"error": "server overloaded; retry later"},
+            status=503,
+            headers={"Retry-After": max(1, round(retry_after_s))},
+        )
+
     def _handle_ask(self) -> None:
-        payload = self._read_json_body()
-        if payload is None:
+        admission: Optional[AdmissionController] = getattr(
+            self.server, "admission", None
+        )
+        if admission is not None and not admission.acquire():
+            self._shed(admission.retry_after_s)
             return
-        question = payload.get("question")
-        if not isinstance(question, str) or not question.strip():
-            self._send_json({"error": "'question' must be a non-empty string"}, status=400)
-            return
-        response = self.chatiyp.ask(question)
-        self._send_json(response.to_dict())
+        try:
+            payload = self._read_json_body()
+            if payload is None:
+                return
+            question = payload.get("question")
+            if not isinstance(question, str) or not question.strip():
+                self._send_json(
+                    {"error": "'question' must be a non-empty string"}, status=400
+                )
+                return
+            deadline_ms = payload.get("deadline_ms", getattr(self.server, "deadline_ms", None))
+            if deadline_ms is not None and (
+                not isinstance(deadline_ms, (int, float))
+                or isinstance(deadline_ms, bool)
+                or deadline_ms <= 0
+            ):
+                self._send_json(
+                    {"error": "'deadline_ms' must be a positive number"}, status=400
+                )
+                return
+            response = self.chatiyp.ask(question, deadline_ms=deadline_ms)
+            self._send_json(response.to_dict())
+        finally:
+            if admission is not None:
+                admission.release()
 
     def _handle_cypher(self) -> None:
         payload = self._read_json_body()
@@ -165,18 +250,47 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
 
 
 def make_server(
-    chatiyp: ChatIYP, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+    chatiyp: ChatIYP,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    *,
+    max_concurrency: int = 8,
+    max_queue_depth: int = 16,
+    queue_timeout_s: float = 1.0,
+    retry_after_s: float = 1.0,
+    deadline_ms: Optional[float] = None,
 ) -> ThreadingHTTPServer:
-    """Create (but do not start) the HTTP server bound to ``host:port``."""
-    server = ThreadingHTTPServer((host, port), ChatIYPRequestHandler)
+    """Create (but do not start) the HTTP server bound to ``host:port``.
+
+    ``max_concurrency``/``max_queue_depth``/``queue_timeout_s`` configure
+    the admission controller on ``/ask`` (``max_concurrency=0`` disables
+    admission control entirely); shed requests answer ``503`` with a
+    ``Retry-After: retry_after_s`` header.  ``deadline_ms`` is the default
+    per-request budget applied when the client sends none.
+    """
+    server = _ChatIYPServer((host, port), ChatIYPRequestHandler)
     server.chatiyp = chatiyp  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
+    server.deadline_ms = deadline_ms  # type: ignore[attr-defined]
+    server.admission = (  # type: ignore[attr-defined]
+        AdmissionController(
+            max_concurrency=max_concurrency,
+            max_queue_depth=max_queue_depth,
+            queue_timeout_s=queue_timeout_s,
+            retry_after_s=retry_after_s,
+        )
+        if max_concurrency > 0
+        else None
+    )
     return server
 
 
-def serve(chatiyp: ChatIYP, host: str = "127.0.0.1", port: int = 8080) -> None:
-    """Run the server until interrupted."""
-    server = make_server(chatiyp, host, port, verbose=True)
+def serve(
+    chatiyp: ChatIYP, host: str = "127.0.0.1", port: int = 8080, **hardening
+) -> None:
+    """Run the server until interrupted (``hardening`` → :func:`make_server`)."""
+    server = make_server(chatiyp, host, port, verbose=True, **hardening)
     print(f"ChatIYP listening on http://{host}:{server.server_address[1]}")
     try:
         server.serve_forever()
@@ -186,9 +300,11 @@ def serve(chatiyp: ChatIYP, host: str = "127.0.0.1", port: int = 8080) -> None:
         server.shutdown()
 
 
-def start_background(chatiyp: ChatIYP, host: str = "127.0.0.1") -> tuple[ThreadingHTTPServer, int]:
+def start_background(
+    chatiyp: ChatIYP, host: str = "127.0.0.1", **hardening
+) -> tuple[ThreadingHTTPServer, int]:
     """Start on an ephemeral port in a daemon thread; returns (server, port)."""
-    server = make_server(chatiyp, host, 0)
+    server = make_server(chatiyp, host, 0, **hardening)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, server.server_address[1]

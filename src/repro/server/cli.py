@@ -49,14 +49,53 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--context", action="store_true", help="show retrieved context")
     parser.add_argument("--serve", action="store_true", help="run the HTTP server instead")
     parser.add_argument("--port", type=int, default=8080)
+    hardening = parser.add_argument_group("serving hardening (with --serve)")
+    hardening.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request time budget; blown budgets degrade gracefully",
+    )
+    hardening.add_argument(
+        "--max-concurrency", type=int, default=8,
+        help="concurrent /ask requests before queueing (0 disables admission control)",
+    )
+    hardening.add_argument(
+        "--max-queue-depth", type=int, default=16,
+        help="queued /ask requests before load shedding (503 + Retry-After)",
+    )
+    hardening.add_argument(
+        "--queue-timeout-s", type=float, default=1.0,
+        help="max seconds a request may wait for a slot before being shed",
+    )
+    hardening.add_argument(
+        "--cache-size", type=int, default=256,
+        help="answer-cache capacity (0 disables caching)",
+    )
+    hardening.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive symbolic execution failures before the circuit "
+             "breaker opens (0 disables the breaker)",
+    )
     args = parser.parse_args(argv)
 
-    config = ChatIYPConfig(seed=args.seed, dataset_size=args.size)
+    config = ChatIYPConfig(
+        seed=args.seed,
+        dataset_size=args.size,
+        deadline_ms=args.deadline_ms,
+        answer_cache_size=args.cache_size,
+        breaker_failure_threshold=args.breaker_threshold if args.serve else 0,
+    )
     chatiyp = ChatIYP(config=config)
     if args.serve:
         from .app import serve
 
-        serve(chatiyp, port=args.port)
+        serve(
+            chatiyp,
+            port=args.port,
+            max_concurrency=args.max_concurrency,
+            max_queue_depth=args.max_queue_depth,
+            queue_timeout_s=args.queue_timeout_s,
+            deadline_ms=args.deadline_ms,
+        )
         return 0
     print(_BANNER)
     chat_loop(chatiyp, sys.stdin, show_context=args.context)

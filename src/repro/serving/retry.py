@@ -1,0 +1,88 @@
+"""Retry with seeded, jittered exponential backoff.
+
+Wraps the LLM-facing pipeline stages (rerank, synthesis) against
+*transient* failures — a raised exception is retried up to ``attempts``
+total tries with exponentially growing, jittered sleeps between tries.
+Expected pipeline outcomes (the error taxonomy recorded on the context)
+are not exceptions and are never retried.
+
+Determinism contract: jitter comes from a :class:`random.Random` seeded at
+construction, never the global RNG, and the RNG is only consumed when a
+failure actually occurs — the happy path stays bit-stable.  Sleeping is
+injectable for tests, and a :class:`~repro.serving.deadline.Deadline`
+caps both whether to retry at all and how long a backoff may sleep.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .deadline import Deadline
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Bounded retry loop with full-jitter exponential backoff."""
+
+    def __init__(
+        self,
+        attempts: int = 2,
+        backoff_ms: float = 25.0,
+        multiplier: float = 2.0,
+        max_backoff_ms: float = 1_000.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.attempts = attempts
+        self.backoff_ms = backoff_ms
+        self.multiplier = multiplier
+        self.max_backoff_ms = max_backoff_ms
+        self.jitter = jitter
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._retries = 0
+
+    @property
+    def retries(self) -> int:
+        """Total retry sleeps performed (for metrics/tests)."""
+        return self._retries
+
+    def _backoff_for(self, attempt: int, deadline: Optional["Deadline"]) -> float:
+        base = min(self.backoff_ms * (self.multiplier ** attempt), self.max_backoff_ms)
+        with self._rng_lock:
+            factor = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        backoff = base * max(0.0, factor)
+        if deadline is not None:
+            backoff = min(backoff, deadline.remaining_ms())
+        return backoff
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        deadline: Optional["Deadline"] = None,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        **kwargs: Any,
+    ) -> Any:
+        """Call ``fn`` with retries; re-raises the last failure."""
+        for attempt in range(self.attempts):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on:
+                final_try = attempt == self.attempts - 1
+                if final_try or (deadline is not None and deadline.expired):
+                    raise
+                self._retries += 1
+                backoff_ms = self._backoff_for(attempt, deadline)
+                if backoff_ms > 0:
+                    self._sleep(backoff_ms / 1000.0)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -49,6 +49,7 @@ PUBLIC_API = {
         "HybridMergePolicy", "make_routing_policy", "PipelineObserver",
         "TracingObserver", "MetricsRegistry", "PipelineError",
         "SymbolicTranslationError", "ExecutionError", "EmptyResult",
+        "DeadlineExceeded", "CircuitOpen",
     ],
     "repro.core": [
         "ChatIYP", "ChatIYPConfig", "ChatSession", "Turn", "render_response",
@@ -70,6 +71,10 @@ PUBLIC_API = {
     "repro.eval.svg": ["figure_2a_svg", "figure_2b_svg", "histogram_svg", "bar_chart_svg"],
     "repro.baselines": ["PythiaBaseline", "VectorOnlyBaseline"],
     "repro.server": ["make_server", "start_background", "serve", "chat_loop"],
+    "repro.serving": [
+        "Deadline", "AnswerCache", "normalize_question", "CircuitBreaker",
+        "BreakerState", "AdmissionController", "RetryPolicy",
+    ],
 }
 
 

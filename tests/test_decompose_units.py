@@ -25,7 +25,7 @@ class StubPipeline:
         self.routes = routes
         self.questions = []
 
-    def query(self, question):
+    def query(self, question, deadline=None):
         self.questions.append(question)
         for key, response in self.routes.items():
             if key in question:

@@ -493,10 +493,16 @@ class TestObservers:
 
 class TestChatIYPIntegration:
     def test_metrics_attached_by_default(self, chatiyp_small):
-        before = chatiyp_small.metrics.snapshot()["stages"].get("synthesis", {}).get("calls", 0)
+        # The session-scoped bot may already hold this answer in its cache;
+        # either a fresh synthesis call or a cache hit proves the registry
+        # is attached and counting.
+        before = chatiyp_small.metrics.snapshot()
         chatiyp_small.ask("Which country is AS2497 registered in?")
-        after = chatiyp_small.metrics.snapshot()["stages"]["synthesis"]["calls"]
-        assert after == before + 1
+        after = chatiyp_small.metrics.snapshot()
+        synth = lambda snap: snap["stages"].get("synthesis", {}).get("calls", 0)  # noqa: E731
+        hits = lambda snap: snap["counters"].get("cache.hit", 0)  # noqa: E731
+        assert after["counters"]["ask.requests"] == before["counters"].get("ask.requests", 0) + 1
+        assert synth(after) + hits(after) == synth(before) + hits(before) + 1
 
     def test_to_dict_exposes_stage_timings(self, chatiyp_small):
         payload = chatiyp_small.ask("Which country is AS2497 registered in?").to_dict()
