@@ -1,0 +1,262 @@
+"""Batch execution throughput benchmark (questions/sec, serial vs parallel).
+
+Measures the end-to-end CypherEval evaluation throughput of
+:meth:`repro.eval.harness.EvaluationHarness.run` at ``workers=1`` (the
+serial reference path) and ``workers=8`` (the batch runner), verifies the
+two reports are **bit-identical**, and records everything under the
+``batch_throughput`` key of ``BENCH_engine.json``.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_batch.py`` — pytest-benchmark suite over
+  ``ChatIYP.ask_batch``.
+* ``python benchmarks/bench_batch.py --quick [--check]`` — standalone
+  runner / CI regression gate.
+
+Honesty notes on the recorded ratio (``speedup``):
+
+* The runner is a thread pool, so on a GIL-enabled CPython build the
+  pipeline's pure-Python work (Cypher execution, text2cypher, scoring)
+  cannot exceed one core's throughput no matter the worker count; the
+  parallel win on such builds comes from overlapping the GIL-releasing
+  numpy segments and is modest.  On free-threaded builds, or when the
+  pipeline waits on real I/O (a remote graph backend, a real LLM), the
+  same code path scales with ``min(workers, cores)``.
+* The regression gate therefore follows PR 3's machine-portable style:
+  it compares **same-run** ratios only, protects a committed parallel win
+  in log space when one exists, and otherwise enforces a no-harm floor —
+  the batch path may never cost more than ~1.5x serial.  Bit-identity of
+  the serial and parallel reports is enforced unconditionally; it is the
+  invariant that makes ``--workers`` safe to default on.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # allow `python benchmarks/bench_batch.py`
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.core import ChatIYP, ChatIYPConfig
+from repro.eval.cyphereval import build_cyphereval
+from repro.eval.harness import EvaluationHarness
+
+#: worker count of the parallel measurement (mirrors the docs' sizing advice)
+PARALLEL_WORKERS = 8
+#: questions per measured sweep (small dataset, seeded, deterministic)
+SWEEP_QUESTIONS = 64
+
+#: the parallel path may never cost more than ~1.5x serial throughput
+_NO_HARM_FLOOR = 0.66
+#: committed speedups at or above this are wins the gate must protect
+_PROTECTED_WIN = 1.2
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark suite
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def batch_bot(chatiyp_medium):
+    return chatiyp_medium
+
+
+@pytest.fixture(scope="module")
+def batch_questions(chatiyp_medium):
+    questions = build_cyphereval(chatiyp_medium.dataset, seed=7, per_template=1)
+    return [question.question for question in questions[:8]]
+
+
+def test_perf_ask_batch_parallel(benchmark, batch_bot, batch_questions):
+    def run():
+        batch_bot.answer_cache.clear()
+        return batch_bot.ask_batch(batch_questions, workers=4)
+
+    outcomes = benchmark(run)
+    assert all(outcome.ok for outcome in outcomes)
+
+
+def test_perf_ask_batch_serial(benchmark, batch_bot, batch_questions):
+    def run():
+        batch_bot.answer_cache.clear()
+        return batch_bot.ask_batch(batch_questions, workers=1)
+
+    outcomes = benchmark(run)
+    assert all(outcome.ok for outcome in outcomes)
+
+
+# ---------------------------------------------------------------------------
+# --quick runner + regression gate
+# ---------------------------------------------------------------------------
+
+
+def _comparable(evaluation) -> tuple:
+    """The bit-identity projection of one QuestionEvaluation (everything
+    except wall-clock timings and cache/coalescing provenance)."""
+    volatile = {"stage_timings", "cache_hit", "coalesced"}
+    return (
+        evaluation.question.question,
+        evaluation.answer,
+        evaluation.reference,
+        evaluation.cypher,
+        evaluation.retrieval_source,
+        evaluation.used_fallback,
+        evaluation.gold_empty,
+        tuple(sorted(evaluation.gold_facts)),
+        tuple(sorted(evaluation.scores.items())),
+        tuple(sorted(evaluation.geval_breakdown.items())),
+        tuple(
+            sorted(
+                (key, repr(value))
+                for key, value in evaluation.diagnostics.items()
+                if key not in volatile
+            )
+        ),
+    )
+
+
+def _measure(harness, bot, workers: int) -> tuple[float, object]:
+    """One timed sweep at ``workers`` over a cold answer cache."""
+    if bot.answer_cache is not None:
+        bot.answer_cache.clear()
+    start = time.perf_counter()
+    report = harness.run(workers=workers)
+    elapsed = time.perf_counter() - start
+    return len(report) / elapsed, report
+
+
+def run_quick(output: Path | None, repeats: int = 3) -> dict:
+    """Measure serial vs parallel eval throughput; merge into ``output``."""
+    bot = ChatIYP(config=ChatIYPConfig(dataset_size="small"))
+    questions = build_cyphereval(bot.dataset, seed=7, per_template=2)
+    questions = questions[:SWEEP_QUESTIONS]
+    harness = EvaluationHarness(bot, questions)
+    harness.run(limit=8)  # warm AST/plan/token caches out of the measurement
+
+    qps_serial = 0.0
+    qps_parallel = 0.0
+    identical = True
+    for _ in range(repeats):  # best-of: robust to scheduler noise
+        qps_1, report_1 = _measure(harness, bot, workers=1)
+        qps_n, report_n = _measure(harness, bot, workers=PARALLEL_WORKERS)
+        qps_serial = max(qps_serial, qps_1)
+        qps_parallel = max(qps_parallel, qps_n)
+        identical = identical and (
+            [_comparable(e) for e in report_1.evaluations]
+            == [_comparable(e) for e in report_n.evaluations]
+        )
+
+    speedup = qps_parallel / qps_serial if qps_serial else 0.0
+    entry = {
+        "benchmark": "batch_throughput_quick",
+        "dataset": "small",
+        "questions": len(questions),
+        "workers": PARALLEL_WORKERS,
+        "protocol": (
+            f"best of {repeats} interleaved sweeps over {len(questions)} "
+            "CypherEval questions, cold answer cache per sweep, warm engine caches"
+        ),
+        "cores": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "gil": getattr(sys, "_is_gil_enabled", lambda: True)(),
+        "qps_serial": round(qps_serial, 1),
+        "qps_parallel": round(qps_parallel, 1),
+        "speedup": round(speedup, 3),
+        "reports_identical": identical,
+    }
+    print(
+        f"eval throughput: workers=1 {qps_serial:8.1f} q/s   "
+        f"workers={PARALLEL_WORKERS} {qps_parallel:8.1f} q/s   "
+        f"speedup {speedup:.2f}x   identical={identical}",
+        file=sys.stderr,
+    )
+    if output is not None:
+        payload = json.loads(output.read_text()) if output.exists() else {}
+        payload["batch_throughput"] = entry
+        output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {output}", file=sys.stderr)
+    return entry
+
+
+def check_regressions(entry: dict, baseline_path: Path, tolerance: float = 0.30) -> list[str]:
+    """PR3-style machine-portable gate over the same-run speedup ratio.
+
+    * ``reports_identical`` must hold — a parallel sweep that changes any
+      score is a correctness bug, not a perf regression;
+    * when the committed baseline recorded a protected parallel win
+      (>= ``_PROTECTED_WIN``, i.e. the committing machine could actually
+      scale), the fresh ratio must hold it to within ``tolerance`` in log
+      space;
+    * regardless of the baseline, the fresh ratio must clear the no-harm
+      floor: batching machinery may never make evaluation >1.5x slower.
+    """
+    failures = []
+    if not entry.get("reports_identical"):
+        failures.append(
+            "batch_throughput: parallel report is NOT bit-identical to serial"
+        )
+    committed = json.loads(baseline_path.read_text()).get("batch_throughput", {})
+    committed_speedup = committed.get("speedup")
+    current_speedup = entry.get("speedup", 0.0)
+    if committed_speedup and committed_speedup >= _PROTECTED_WIN:
+        floor = committed_speedup ** (1.0 - tolerance)
+        if current_speedup < floor:
+            failures.append(
+                f"batch_throughput: speedup {current_speedup:.2f}x < {floor:.2f}x "
+                f"(committed {committed_speedup:.2f}x, tolerance {tolerance:.0%})"
+            )
+    if current_speedup < _NO_HARM_FLOOR:
+        failures.append(
+            f"batch_throughput: parallel path runs {1.0 / max(current_speedup, 1e-9):.2f}x "
+            f"slower than serial (floor {_NO_HARM_FLOOR})"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="measure serial-vs-parallel eval throughput and update BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="regression gate against the committed BENCH_engine.json "
+             "(bit-identity + no-harm + protected-win); does not overwrite it",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("use --quick (or run this file under pytest for full benchmarks)")
+    if args.check:
+        if not args.output.exists():
+            parser.error(f"--check needs a committed baseline at {args.output}")
+        entry = run_quick(None, repeats=args.repeats)
+        failures = check_regressions(entry, args.output, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(
+            "batch perf gate ok: reports bit-identical, throughput ratio within "
+            f"bounds vs {args.output.name}",
+            file=sys.stderr,
+        )
+        return 0
+    run_quick(args.output, repeats=args.repeats)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

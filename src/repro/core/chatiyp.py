@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from ..cypher.executor import CypherEngine
 from ..cypher.result import ResultSet
@@ -21,6 +21,8 @@ from ..iyp.loader import load_dataset
 from ..llm.simulated import SimulatedLLM
 from ..llm.text2cypher import ErrorModel
 from ..nlp.entities import Gazetteer
+from ..parallel import BatchOutcome, ParallelRunner, SingleFlight
+from ..parallel import singleflight as _singleflight
 from ..rag.observer import MetricsRegistry, PipelineObserver
 from ..rag.pipeline import PipelineResponse, RetrieverQueryEngine
 from ..rag.reranker import LLMReranker
@@ -74,6 +76,7 @@ class ChatResponse:
                 "stage_timings": self.diagnostics.get("stage_timings", {}),
                 "degraded": list(self.diagnostics.get("degraded", ())),
                 "cache_hit": bool(self.diagnostics.get("cache_hit", False)),
+                "coalesced": bool(self.diagnostics.get("coalesced", False)),
             },
         }
 
@@ -161,6 +164,11 @@ class ChatIYP:
             if self.config.answer_cache_size > 0
             else None
         )
+        # Concurrent duplicates of the same question share one pipeline
+        # execution (the cache handles sequential repeats).
+        self.inflight: Optional[SingleFlight] = (
+            SingleFlight() if self.config.coalesce_inflight else None
+        )
         self._config_fingerprint = self.config.fingerprint()
         self.pipeline = RetrieverQueryEngine(
             text2cypher=text2cypher,
@@ -183,49 +191,32 @@ class ChatIYP:
 
     # ------------------------------------------------------------------
 
-    def ask(self, question: str, deadline_ms: Optional[float] = None) -> ChatResponse:
-        """Answer a natural-language question about the IYP graph.
+    @staticmethod
+    def _copy_response(
+        response: ChatResponse, *, cache_hit: bool = False, coalesced: bool = False
+    ) -> ChatResponse:
+        """Copy-on-share: cache hits and coalesced followers get their own
+        mutable diagnostics/context so callers never corrupt the shared
+        entry (or each other)."""
+        diagnostics = copy.deepcopy(response.diagnostics)
+        if cache_hit:
+            diagnostics["cache_hit"] = True
+        if coalesced:
+            diagnostics["coalesced"] = True
+        return replace(
+            response,
+            context_snippets=list(response.context_snippets),
+            diagnostics=diagnostics,
+        )
 
-        ``deadline_ms`` caps this request's wall-clock budget (falling back
-        to ``config.deadline_ms``; ``None`` = unbounded).  A blown budget
-        degrades the pipeline gracefully — the response then lists what was
-        shed under ``diagnostics["degraded"]``.  Answers are served from
-        the bounded LRU cache when an identical question was answered under
-        the same configuration against the same graph version.
-        """
-        if not question or not question.strip():
-            return ChatResponse(
-                question=question,
-                answer="Please ask a question about Internet infrastructure.",
-                cypher=None,
-                retrieval_source="none",
-                used_fallback=False,
-            )
-        text = question.strip()
-        self.metrics.increment("ask.requests")
+    def _request_key(self, text: str) -> tuple:
+        """Identity of a request for caching/coalescing purposes."""
+        return AnswerCache.key(text, self._config_fingerprint, self.store.stats_version)
 
-        cache_key = None
-        if self.answer_cache is not None:
-            cache_key = AnswerCache.key(
-                text, self._config_fingerprint, self.store.stats_version
-            )
-            cached = self.answer_cache.get(cache_key)
-            if cached is not None:
-                self.metrics.increment("cache.hit")
-                # Copy-on-hit: callers may mutate diagnostics/context of
-                # their response without corrupting the cached entry.
-                return replace(
-                    cached,
-                    context_snippets=list(cached.context_snippets),
-                    diagnostics={
-                        **copy.deepcopy(cached.diagnostics),
-                        "cache_hit": True,
-                    },
-                )
-            self.metrics.increment("cache.miss")
-
-        budget_ms = deadline_ms if deadline_ms is not None else self.config.deadline_ms
-        deadline = Deadline.start(budget_ms) if budget_ms else None
+    def _execute(
+        self, text: str, cache_key: Optional[tuple], deadline: Optional[Deadline]
+    ) -> ChatResponse:
+        """Run the full pipeline once and (maybe) cache the answer."""
         pipeline_response: PipelineResponse = self.pipeline.query(
             text, deadline=deadline
         )
@@ -244,9 +235,124 @@ class ChatIYP:
         )
         # Degraded answers are artifacts of load/deadline pressure, not the
         # question — never let them shadow a full answer in the cache.
-        if cache_key is not None and not degraded:
+        if self.answer_cache is not None and cache_key is not None and not degraded:
             self.answer_cache.put(cache_key, response)
         return response
+
+    def ask(
+        self,
+        question: str,
+        deadline_ms: Optional[float] = None,
+        *,
+        deadline: Optional[Deadline] = None,
+    ) -> ChatResponse:
+        """Answer a natural-language question about the IYP graph.
+
+        ``deadline_ms`` caps this request's wall-clock budget (falling back
+        to ``config.deadline_ms``; ``None`` = unbounded).  Batch callers
+        may instead pass an already-running ``deadline`` so queueing time
+        counts against the budget.  A blown budget degrades the pipeline
+        gracefully — the response then lists what was shed under
+        ``diagnostics["degraded"]``.  Answers are served from the bounded
+        LRU cache when an identical question was answered under the same
+        configuration against the same graph version, and concurrent
+        duplicates coalesce onto a single pipeline execution
+        (``diagnostics["coalesced"]`` marks the followers).
+        """
+        if not question or not question.strip():
+            return ChatResponse(
+                question=question,
+                answer="Please ask a question about Internet infrastructure.",
+                cypher=None,
+                retrieval_source="none",
+                used_fallback=False,
+            )
+        text = question.strip()
+        self.metrics.increment("ask.requests")
+
+        cache_key = None
+        if self.answer_cache is not None or self.inflight is not None:
+            cache_key = self._request_key(text)
+        if self.answer_cache is not None:
+            cached = self.answer_cache.get(cache_key)
+            if cached is not None:
+                self.metrics.increment("cache.hit")
+                return self._copy_response(cached, cache_hit=True)
+            self.metrics.increment("cache.miss")
+
+        if deadline is None:
+            budget_ms = (
+                deadline_ms if deadline_ms is not None else self.config.deadline_ms
+            )
+            deadline = Deadline.start(budget_ms) if budget_ms else None
+
+        if self.inflight is None:
+            return self._execute(text, cache_key, deadline)
+
+        leader, flight = self.inflight.begin(cache_key)
+        if not leader:
+            # Wait no longer than our own remaining budget; a follower that
+            # times out (or whose leader failed) executes independently —
+            # coalescing must never make a request less reliable.
+            timeout_s = (
+                deadline.remaining_ms() / 1000.0 if deadline is not None else None
+            )
+            status = flight.wait(timeout_s)
+            if status == _singleflight.OK:
+                self.metrics.increment("singleflight.coalesced")
+                return self._copy_response(flight.value, coalesced=True)
+            self.metrics.increment("singleflight.fallthrough")
+            return self._execute(text, cache_key, deadline)
+        try:
+            response = self._execute(text, cache_key, deadline)
+        except BaseException as exc:
+            self.inflight.finish(flight, error=exc)
+            raise
+        self.inflight.finish(flight, value=response)
+        return response
+
+    def ask_batch(
+        self,
+        questions: Iterable[str],
+        deadline_ms: Union[float, Sequence[Optional[float]], None] = None,
+        workers: int = 4,
+    ) -> list[BatchOutcome]:
+        """Answer many questions concurrently through the batch runner.
+
+        ``deadline_ms`` is either one budget applied to every question or a
+        sequence aligned with ``questions`` (``None`` entries fall back to
+        ``config.deadline_ms``).  Every deadline starts **now** — time an
+        item spends queued behind earlier items counts against its budget,
+        exactly as it would for a request waiting in an admission queue.
+
+        Returns one :class:`~repro.parallel.BatchOutcome` per question, in
+        input order; a failed item carries its exception instead of taking
+        the whole batch down.  Identical concurrent questions coalesce
+        through the single-flight layer like any other concurrent asks.
+        """
+        question_list = list(questions)
+        self.metrics.increment("ask.batch_requests")
+        if not question_list:
+            return []
+        self.metrics.increment("ask.batch_questions", by=len(question_list))
+        if deadline_ms is None or isinstance(deadline_ms, (int, float)):
+            budgets: list[Optional[float]] = [deadline_ms] * len(question_list)
+        else:
+            budgets = list(deadline_ms)
+            if len(budgets) != len(question_list):
+                raise ValueError(
+                    f"deadline_ms sequence length {len(budgets)} != "
+                    f"question count {len(question_list)}"
+                )
+        deadlines: list[Optional[Deadline]] = []
+        for budget in budgets:
+            ms = budget if budget is not None else self.config.deadline_ms
+            deadlines.append(Deadline.start(ms) if ms else None)
+        runner = ParallelRunner(workers=max(1, workers), thread_name_prefix="ask-batch")
+        return runner.map_outcomes(
+            lambda index: self.ask(question_list[index], deadline=deadlines[index]),
+            range(len(question_list)),
+        )
 
     def run_cypher(self, query: str, **params: Any) -> ResultSet:
         """Escape hatch: run raw Cypher against the underlying graph."""
@@ -257,6 +363,7 @@ class ChatIYP:
         return {
             "cache": self.answer_cache.stats() if self.answer_cache else None,
             "breaker": self.breaker.snapshot() if self.breaker else None,
+            "inflight": self.inflight.snapshot() if self.inflight else None,
         }
 
     @property

@@ -61,6 +61,13 @@ class ChatIYPConfig:
     # LLM-facing stages. Total tries per stage call; 1 = no retry.
     llm_retry_attempts: int = 2
     llm_retry_backoff_ms: float = 25.0
+    # Single-flight coalescing of concurrent duplicate questions: when N
+    # identical questions are in flight at once, one executes the pipeline
+    # and the rest wait on its result (the concurrent counterpart of the
+    # answer cache, which only dedupes sequential repeats). Coalescing is
+    # an optimisation, never a dependency — followers whose deadline runs
+    # out, or whose leader failed, execute independently.
+    coalesce_inflight: bool = True
 
     def fingerprint(self) -> str:
         """Stable digest of every knob — part of the answer-cache key.

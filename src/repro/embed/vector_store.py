@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -38,6 +39,14 @@ class VectorStore:
     Brute force on a dense matrix — IYP node-description corpora are a few
     thousand entries, where exact search is both simpler and faster than an
     approximate index.
+
+    Thread safety: mutation (:meth:`add`/:meth:`add_batch`) and the lazy
+    matrix rebuild run under an internal lock, and :meth:`search` ranks
+    over an immutable ``(matrix, row_count)`` snapshot taken under that
+    lock.  A concurrent writer invalidating ``_matrix`` mid-search can
+    therefore neither crash a reader (``None`` never escapes the lock) nor
+    truncate its hits (the snapshot's rows and the append-only entry list
+    agree for every index the snapshot can produce).
     """
 
     def __init__(self, embedding: Optional[HashingEmbedding] = None) -> None:
@@ -45,18 +54,21 @@ class VectorStore:
         self._entries: list[VectorEntry] = []
         self._matrix: Optional[np.ndarray] = None
         self._ids: set[str] = set()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def add(self, entry_id: str, text: str, metadata: dict[str, Any] | None = None) -> None:
         """Index ``text`` under ``entry_id`` (ids must be unique)."""
-        if entry_id in self._ids:
-            raise ValueError(f"duplicate vector-store id: {entry_id}")
-        self._ids.add(entry_id)
         vector = self.embedding.embed(text)
-        self._entries.append(VectorEntry(entry_id, text, vector, dict(metadata or {})))
-        self._matrix = None  # invalidate
+        with self._lock:
+            if entry_id in self._ids:
+                raise ValueError(f"duplicate vector-store id: {entry_id}")
+            self._ids.add(entry_id)
+            self._entries.append(VectorEntry(entry_id, text, vector, dict(metadata or {})))
+            self._matrix = None  # invalidate
 
     def add_batch(self, items: list[tuple[str, str, dict[str, Any]]]) -> None:
         """Index many (id, text, metadata) triples in one embedding pass.
@@ -67,24 +79,39 @@ class VectorStore:
         """
         if not items:
             return
-        fresh: set[str] = set()
-        for entry_id, _, _ in items:
-            if entry_id in self._ids or entry_id in fresh:
-                raise ValueError(f"duplicate vector-store id: {entry_id}")
-            fresh.add(entry_id)
+        # Embedding is the expensive part — do it outside the lock so a
+        # bulk index never starves concurrent searches.
         vectors = self.embedding.embed_batch([text for _, text, _ in items])
-        for (entry_id, text, metadata), vector in zip(items, vectors):
-            self._entries.append(VectorEntry(entry_id, text, vector, dict(metadata or {})))
-        self._ids.update(fresh)
-        self._matrix = None  # invalidate; rebuilt lazily in one stack
+        with self._lock:
+            fresh: set[str] = set()
+            for entry_id, _, _ in items:
+                if entry_id in self._ids or entry_id in fresh:
+                    raise ValueError(f"duplicate vector-store id: {entry_id}")
+                fresh.add(entry_id)
+            for (entry_id, text, metadata), vector in zip(items, vectors):
+                self._entries.append(VectorEntry(entry_id, text, vector, dict(metadata or {})))
+            self._ids.update(fresh)
+            self._matrix = None  # invalidate; rebuilt lazily in one stack
+
+    def _snapshot(self) -> tuple[np.ndarray, list[VectorEntry]]:
+        """(matrix, entries) consistent pair; caller must not mutate either.
+
+        The entry list is append-only, so sharing the live list is safe:
+        every row index the matrix can yield maps to an entry that existed
+        when the matrix was built, and existing entries are never reordered
+        or rewritten in place.
+        """
+        with self._lock:
+            if self._matrix is None:
+                if self._entries:
+                    self._matrix = np.stack([entry.vector for entry in self._entries])
+                else:
+                    self._matrix = np.zeros((0, self.embedding.dim), dtype=np.float64)
+            return self._matrix, self._entries
 
     def _ensure_matrix(self) -> np.ndarray:
-        if self._matrix is None:
-            if self._entries:
-                self._matrix = np.stack([entry.vector for entry in self._entries])
-            else:
-                self._matrix = np.zeros((0, self.embedding.dim), dtype=np.float64)
-        return self._matrix
+        matrix, _ = self._snapshot()
+        return matrix
 
     def search(
         self,
@@ -99,15 +126,17 @@ class VectorStore:
             filter_fn: optional metadata predicate applied before ranking.
             min_score: drop hits scoring at or below this threshold.
         """
-        if top_k <= 0 or not self._entries:
+        if top_k <= 0:
             return []
-        matrix = self._ensure_matrix()
+        matrix, entries = self._snapshot()
+        if matrix.shape[0] == 0:
+            return []
         query_vector = self.embedding.embed(query)
         scores = matrix @ query_vector  # rows are unit-norm already
         order = np.argsort(-scores, kind="stable")
         hits: list[SearchHit] = []
         for index in order:
-            entry = self._entries[int(index)]
+            entry = entries[int(index)]
             score = float(scores[int(index)])
             if score <= min_score:
                 break
@@ -118,9 +147,14 @@ class VectorStore:
                 break
         return hits
 
+    def entries(self) -> list[VectorEntry]:
+        """Stable snapshot of the indexed entries (do not mutate them)."""
+        with self._lock:
+            return list(self._entries)
+
     def get(self, entry_id: str) -> Optional[VectorEntry]:
         """Fetch one entry by id (None when missing)."""
-        for entry in self._entries:
+        for entry in self.entries():
             if entry.entry_id == entry_id:
                 return entry
         return None

@@ -1,0 +1,163 @@
+"""ParallelRunner — ordered fan-out over a bounded thread pool.
+
+The runner is deliberately small: it maps a function over a list of items
+with at most ``workers`` concurrent executions and returns outcomes in
+**input order**, never completion order.  Two properties make it safe to
+drop into previously-serial code paths:
+
+* ``workers=1`` executes inline on the calling thread — no pool, no
+  queues, no thread-identity changes — so the serial path through the
+  runner is byte-for-byte the old behaviour, and parallel-vs-serial
+  equivalence is a testable property rather than a hope;
+* exceptions are captured per item (:class:`BatchOutcome`), so one bad
+  question cannot take down a whole batch; callers that want
+  fail-on-first-error semantics use :meth:`ParallelRunner.map`, which
+  re-raises the earliest (by input index) failure.
+
+Deadline inheritance: ``map``/``map_outcomes`` accept one shared
+:class:`~repro.serving.deadline.Deadline`.  Deadlines are absolute
+monotonic expiry points, so handing the same object to every worker means
+they all expire together; additionally the runner checks it *before*
+starting each item and fails the remainder fast once the budget is gone —
+under a blown deadline a 100-item batch does not queue 100 doomed
+executions.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..serving.deadline import Deadline
+
+__all__ = ["BatchDeadlineExceeded", "BatchOutcome", "ParallelRunner"]
+
+
+class BatchDeadlineExceeded(TimeoutError):
+    """The shared batch deadline expired before this item could start."""
+
+
+@dataclass
+class BatchOutcome:
+    """Result of one item in a batch: either a value or a captured error."""
+
+    index: int
+    value: Any = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ParallelRunner:
+    """Map a function over items with bounded, order-preserving concurrency."""
+
+    def __init__(self, workers: int = 1, thread_name_prefix: str = "repro-batch") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers
+        self.thread_name_prefix = thread_name_prefix
+        self._lock = threading.Lock()
+        self._tasks_run = 0
+        self._tasks_failed = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def tasks_run(self) -> int:
+        """Total items executed (including failures) across all maps."""
+        return self._tasks_run
+
+    @property
+    def tasks_failed(self) -> int:
+        """Total items whose function raised, across all maps."""
+        return self._tasks_failed
+
+    def snapshot(self) -> dict:
+        """JSON-friendly stats (for ``/metrics``-style reporting)."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "tasks_run": self._tasks_run,
+                "tasks_failed": self._tasks_failed,
+            }
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_one(
+        self,
+        fn: Callable[[Any], Any],
+        index: int,
+        item: Any,
+        deadline: Optional["Deadline"],
+    ) -> BatchOutcome:
+        if deadline is not None and deadline.expired:
+            error: BaseException = BatchDeadlineExceeded(
+                f"batch deadline exhausted before item {index} started"
+            )
+            with self._lock:
+                self._tasks_failed += 1
+            return BatchOutcome(index=index, error=error)
+        try:
+            value = fn(item)
+        except BaseException as exc:  # noqa: BLE001 - captured per item by design
+            with self._lock:
+                self._tasks_run += 1
+                self._tasks_failed += 1
+            return BatchOutcome(index=index, error=exc)
+        with self._lock:
+            self._tasks_run += 1
+        return BatchOutcome(index=index, value=value)
+
+    def map_outcomes(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        deadline: Optional["Deadline"] = None,
+    ) -> list[BatchOutcome]:
+        """Run ``fn`` over every item; outcomes come back in input order.
+
+        At most ``self.workers`` items execute concurrently.  ``deadline``
+        (optional) is shared by all workers: tasks already running consult
+        it through whatever ``fn`` does with the ambient budget, and tasks
+        not yet started fail fast with :class:`BatchDeadlineExceeded` once
+        it expires.
+        """
+        sequence: Sequence[Any] = list(items)
+        if not sequence:
+            return []
+        effective = min(self.workers, len(sequence))
+        if effective == 1:
+            # Inline serial path: identical call pattern to pre-batch code.
+            return [
+                self._run_one(fn, index, item, deadline)
+                for index, item in enumerate(sequence)
+            ]
+        with ThreadPoolExecutor(
+            max_workers=effective, thread_name_prefix=self.thread_name_prefix
+        ) as pool:
+            futures = [
+                pool.submit(self._run_one, fn, index, item, deadline)
+                for index, item in enumerate(sequence)
+            ]
+            # submit() order == input order, and _run_one never raises, so
+            # gathering futures in submit order restores input order exactly.
+            return [future.result() for future in futures]
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        deadline: Optional["Deadline"] = None,
+    ) -> list[Any]:
+        """Like :meth:`map_outcomes` but unwraps values, re-raising the
+        first (by input index) captured failure after the batch settles."""
+        outcomes = self.map_outcomes(fn, items, deadline=deadline)
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise outcome.error
+        return [outcome.value for outcome in outcomes]

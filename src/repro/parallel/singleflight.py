@@ -1,0 +1,129 @@
+"""SingleFlight — coalesce concurrent duplicate work onto one execution.
+
+The answer cache dedupes *sequential* repeats of a question; it does
+nothing for the serving-killer case where N identical requests arrive
+while the first is still executing — each of them misses the cache and
+runs the full pipeline.  :class:`SingleFlight` closes that window: the
+first caller to :meth:`begin` a key becomes the **leader** and executes;
+every later caller for the same key becomes a **follower** and waits on
+the leader's :class:`Flight` instead of executing.
+
+Contract details that matter in practice:
+
+* Followers wait with a timeout (their own remaining deadline); a
+  follower that times out — or whose leader failed — falls through and
+  executes independently rather than erroring.  Coalescing is an
+  optimisation, never a correctness dependency.
+* The flight is unregistered *before* its event is set, so a caller
+  arriving after completion starts a fresh flight instead of receiving a
+  stale result — freshness is the cache's business, not the coalescer's.
+* Waiter counts are tracked per flight and exposed via
+  :meth:`SingleFlight.snapshot` so servers can report live coalescing
+  depth and tests can deterministically wait for followers to park.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Optional
+
+__all__ = ["Flight", "SingleFlight"]
+
+#: wait() outcome markers
+_PENDING = "pending"
+OK = "ok"
+FAILED = "failed"
+TIMEOUT = "timeout"
+
+
+class Flight:
+    """One in-flight execution: a result slot followers can wait on."""
+
+    __slots__ = ("key", "_event", "value", "error", "waiters", "_lock")
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+        self._event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.waiters = 0
+        self._lock = threading.Lock()
+
+    def wait(self, timeout_s: Optional[float] = None) -> str:
+        """Block until the leader finishes; returns OK/FAILED/TIMEOUT."""
+        with self._lock:
+            self.waiters += 1
+        try:
+            finished = self._event.wait(timeout_s)
+        finally:
+            with self._lock:
+                self.waiters -= 1
+        if not finished:
+            return TIMEOUT
+        return FAILED if self.error is not None else OK
+
+    def _settle(self, value: Any, error: Optional[BaseException]) -> None:
+        self.value = value
+        self.error = error
+        self._event.set()
+
+
+class SingleFlight:
+    """Registry of in-flight executions keyed by request identity."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[Hashable, Flight] = {}
+        self._led = 0
+        self._coalesced = 0
+
+    def begin(self, key: Hashable) -> tuple[bool, Flight]:
+        """Join the flight for ``key``; returns ``(is_leader, flight)``.
+
+        The first caller for a key leads (and MUST later call
+        :meth:`finish` exactly once, even on failure — ``try/finally``);
+        everyone else should :meth:`Flight.wait` on the returned flight.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                self._coalesced += 1
+                return False, flight
+            flight = Flight(key)
+            self._flights[key] = flight
+            self._led += 1
+            return True, flight
+
+    def finish(
+        self,
+        flight: Flight,
+        value: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Publish the leader's result (or failure) and retire the flight.
+
+        Unregisters before waking waiters so late arrivals never observe
+        a completed flight as joinable.
+        """
+        with self._lock:
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+        flight._settle(value, error)
+
+    # -- introspection -----------------------------------------------------
+
+    def waiters(self, key: Hashable) -> int:
+        """Live follower count parked on ``key`` (0 when not in flight)."""
+        with self._lock:
+            flight = self._flights.get(key)
+        return flight.waiters if flight is not None else 0
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state dump for ``/metrics``."""
+        with self._lock:
+            return {
+                "in_flight": len(self._flights),
+                "waiting": sum(flight.waiters for flight in self._flights.values()),
+                "led": self._led,
+                "coalesced": self._coalesced,
+            }

@@ -24,6 +24,13 @@ class VectorContextRetriever(Retriever):
     query tokens (entity handles like ``AS2497`` or ``203.0.113.0/24``)
     provides the precision dense hashing alone lacks — the usual
     dense + sparse hybrid of production RAG stacks.
+
+    Entry texts are tokenized **once, at index time**: the lexical boost
+    consults a per-entry frozen token set instead of re-running
+    ``word_tokenize`` on every hit of every query (profiling under
+    concurrent load showed that recomputation as the retriever's hottest
+    line).  Entries indexed after construction are tokenized lazily on
+    first hit and memoised.
     """
 
     #: fetch this many dense candidates per requested result before boosting
@@ -42,10 +49,26 @@ class VectorContextRetriever(Retriever):
         self.vector_store = vector_store or VectorStore()
         if len(self.vector_store) == 0:
             self.vector_store.add_batch(build_description_corpus(store, labels))
+        # Token sets are derived purely from entry text, so precomputing
+        # them cannot change scores — tests assert equality with the
+        # recompute-per-hit path.  dict writes are atomic under the GIL;
+        # worst case two threads tokenize the same new entry once each.
+        self._entry_tokens: dict[str, frozenset[str]] = {
+            entry.entry_id: frozenset(word_tokenize(entry.text))
+            for entry in self.vector_store.entries()
+        }
 
     @property
     def name(self) -> str:
         return "vector"
+
+    def _tokens_for(self, entry_id: str, text: str) -> frozenset[str]:
+        """The entry's cached token set (tokenizing + memoising on miss)."""
+        tokens = self._entry_tokens.get(entry_id)
+        if tokens is None:
+            tokens = frozenset(word_tokenize(text))
+            self._entry_tokens[entry_id] = tokens
+        return tokens
 
     def retrieve(self, query: str) -> RetrievalResult:
         hits = self.vector_store.search(
@@ -60,7 +83,7 @@ class VectorContextRetriever(Retriever):
         for hit in hits:
             score = hit.score
             if distinctive:
-                text_tokens = set(word_tokenize(hit.text))
+                text_tokens = self._tokens_for(hit.entry_id, hit.text)
                 overlap = len(distinctive & text_tokens) / len(distinctive)
                 score += self._LEXICAL_WEIGHT * overlap
             scored.append(

@@ -5,6 +5,13 @@ Stdlib-only HTTP server exposing:
 * ``POST /ask`` — body ``{"question": "...", "deadline_ms": 500}`` →
   answer + Cypher + provenance (``deadline_ms`` optional, capped by the
   server default)
+* ``POST /ask_batch`` — body ``{"questions": [...], "deadline_ms": 500}``
+  → one result per question, in order.  Each list element is either a
+  bare question string or ``{"question": "...", "deadline_ms": 250}``;
+  per-item budgets override the batch-level default.  At most
+  ``max_batch_size`` questions per request.  Results report partial
+  failures individually (``{"ok": false, "error": ...}``) instead of
+  failing the whole batch.
 * ``POST /cypher`` — body ``{"query": "...", "params": {...}}`` → rows
   (read-only queries only; writes are rejected with 403)
 * ``GET  /health`` — liveness and graph stats
@@ -25,6 +32,14 @@ Serving hardening: every ``/ask`` passes an
 requests run at once, a bounded queue absorbs bursts, and everything
 beyond that is shed immediately with ``503`` + ``Retry-After``.  Bodies
 over 64 KiB are refused with ``413``.
+
+``/ask_batch`` shares the same admission slots rather than bypassing
+them: a batch blocks for **one** slot like any ``/ask`` (shedding with
+``503`` when none arrives), then *opportunistically* takes extra free
+slots — never queued ones — to widen its fan-out.  Total concurrent
+question executions across ``/ask`` and ``/ask_batch`` therefore never
+exceed ``max_concurrency``, and a batch under load degrades to narrower
+(eventually serial) execution instead of stealing capacity.
 
 Start programmatically via :func:`make_server` (tests bind port 0), or from
 a shell::
@@ -170,6 +185,9 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
         if self.path == "/ask":
             self._handle_ask()
             return
+        if self.path == "/ask_batch":
+            self._handle_ask_batch()
+            return
         if self.path == "/cypher":
             self._handle_cypher()
             return
@@ -202,11 +220,7 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
                 )
                 return
             deadline_ms = payload.get("deadline_ms", getattr(self.server, "deadline_ms", None))
-            if deadline_ms is not None and (
-                not isinstance(deadline_ms, (int, float))
-                or isinstance(deadline_ms, bool)
-                or deadline_ms <= 0
-            ):
+            if self._bad_budget(deadline_ms):
                 self._send_json(
                     {"error": "'deadline_ms' must be a positive number"}, status=400
                 )
@@ -216,6 +230,104 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
         finally:
             if admission is not None:
                 admission.release()
+
+    @staticmethod
+    def _bad_budget(value) -> bool:
+        """True when ``value`` is not a usable ``deadline_ms`` (None is ok)."""
+        return value is not None and (
+            not isinstance(value, (int, float))
+            or isinstance(value, bool)
+            or value <= 0
+        )
+
+    def _parse_batch_item(self, item, default_budget):
+        """Normalize one batch element to ``(question, budget, error)``."""
+        if isinstance(item, str):
+            question, budget = item, default_budget
+        elif isinstance(item, dict):
+            question = item.get("question")
+            budget = item.get("deadline_ms", default_budget)
+        else:
+            return None, None, "item must be a string or an object"
+        if not isinstance(question, str) or not question.strip():
+            return None, None, "'question' must be a non-empty string"
+        if self._bad_budget(budget):
+            return None, None, "'deadline_ms' must be a positive number"
+        return question, budget, None
+
+    def _handle_ask_batch(self) -> None:
+        admission: Optional[AdmissionController] = getattr(
+            self.server, "admission", None
+        )
+        # A batch is admitted like a single /ask: block for one slot (shed
+        # with 503 when none arrives).  Extra parallelism is taken from
+        # *free* slots only, after validation, so batches widen when the
+        # server is idle and degrade to serial under load.
+        if admission is not None and not admission.acquire():
+            self._shed(admission.retry_after_s)
+            return
+        extra_slots = 0
+        try:
+            payload = self._read_json_body()
+            if payload is None:
+                return
+            items = payload.get("questions")
+            if not isinstance(items, list) or not items:
+                self._send_json(
+                    {"error": "'questions' must be a non-empty list"}, status=400
+                )
+                return
+            max_batch = getattr(self.server, "max_batch_size", 16)
+            if len(items) > max_batch:
+                self._send_json(
+                    {"error": f"batch exceeds {max_batch} questions"}, status=400
+                )
+                return
+            default_budget = payload.get(
+                "deadline_ms", getattr(self.server, "deadline_ms", None)
+            )
+            if self._bad_budget(default_budget):
+                self._send_json(
+                    {"error": "'deadline_ms' must be a positive number"}, status=400
+                )
+                return
+            parsed = [self._parse_batch_item(item, default_budget) for item in items]
+            runnable = [
+                (index, question, budget)
+                for index, (question, budget, error) in enumerate(parsed)
+                if error is None
+            ]
+            workers = 1
+            if runnable:
+                if admission is not None:
+                    target = min(len(runnable), admission.max_concurrency)
+                    while 1 + extra_slots < target and admission.try_acquire():
+                        extra_slots += 1
+                    workers = 1 + extra_slots
+                else:
+                    workers = min(len(runnable), 8)
+                outcomes = self.chatiyp.ask_batch(
+                    [question for _, question, _ in runnable],
+                    deadline_ms=[budget for _, _, budget in runnable],
+                    workers=workers,
+                )
+            else:
+                outcomes = []
+            results: list[dict] = [
+                {"ok": False, "error": error} for _, _, error in parsed
+            ]
+            for (index, _, _), outcome in zip(runnable, outcomes):
+                if outcome.ok:
+                    results[index] = {"ok": True, "response": outcome.value.to_dict()}
+                else:
+                    results[index] = {"ok": False, "error": str(outcome.error)}
+            self._send_json(
+                {"results": results, "count": len(results), "workers": workers}
+            )
+        finally:
+            if admission is not None:
+                for _ in range(1 + extra_slots):
+                    admission.release()
 
     def _handle_cypher(self) -> None:
         payload = self._read_json_body()
@@ -260,19 +372,23 @@ def make_server(
     queue_timeout_s: float = 1.0,
     retry_after_s: float = 1.0,
     deadline_ms: Optional[float] = None,
+    max_batch_size: int = 16,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the HTTP server bound to ``host:port``.
 
     ``max_concurrency``/``max_queue_depth``/``queue_timeout_s`` configure
-    the admission controller on ``/ask`` (``max_concurrency=0`` disables
-    admission control entirely); shed requests answer ``503`` with a
-    ``Retry-After: retry_after_s`` header.  ``deadline_ms`` is the default
-    per-request budget applied when the client sends none.
+    the admission controller on ``/ask`` and ``/ask_batch``
+    (``max_concurrency=0`` disables admission control entirely); shed
+    requests answer ``503`` with a ``Retry-After: retry_after_s`` header.
+    ``deadline_ms`` is the default per-request budget applied when the
+    client sends none; ``max_batch_size`` caps the questions one
+    ``/ask_batch`` request may carry.
     """
     server = _ChatIYPServer((host, port), ChatIYPRequestHandler)
     server.chatiyp = chatiyp  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     server.deadline_ms = deadline_ms  # type: ignore[attr-defined]
+    server.max_batch_size = max_batch_size  # type: ignore[attr-defined]
     server.admission = (  # type: ignore[attr-defined]
         AdmissionController(
             max_concurrency=max_concurrency,

@@ -71,6 +71,14 @@ def main(argv: list[str] | None = None) -> int:
         help="answer-cache capacity (0 disables caching)",
     )
     hardening.add_argument(
+        "--max-batch", type=int, default=16,
+        help="maximum questions per /ask_batch request",
+    )
+    hardening.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable single-flight coalescing of concurrent duplicate questions",
+    )
+    hardening.add_argument(
         "--breaker-threshold", type=int, default=5,
         help="consecutive symbolic execution failures before the circuit "
              "breaker opens (0 disables the breaker)",
@@ -83,6 +91,7 @@ def main(argv: list[str] | None = None) -> int:
         deadline_ms=args.deadline_ms,
         answer_cache_size=args.cache_size,
         breaker_failure_threshold=args.breaker_threshold if args.serve else 0,
+        coalesce_inflight=not args.no_coalesce,
     )
     chatiyp = ChatIYP(config=config)
     if args.serve:
@@ -95,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
             max_queue_depth=args.max_queue_depth,
             queue_timeout_s=args.queue_timeout_s,
             deadline_ms=args.deadline_ms,
+            max_batch_size=args.max_batch,
         )
         return 0
     print(_BANNER)

@@ -1,0 +1,234 @@
+"""POST /ask_batch: schema, partial failure, deadlines, admission sharing."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import ChatIYP, ChatIYPConfig
+from repro.serving import Deadline
+from repro.server import start_background
+
+
+def _post(port, path, payload=None, raw=None, timeout=30):
+    body = raw if raw is not None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+@pytest.fixture(scope="module")
+def batch_bot(small_dataset):
+    return ChatIYP(
+        dataset=small_dataset,
+        config=ChatIYPConfig(dataset_size="small", answer_cache_size=128),
+    )
+
+
+@pytest.fixture(scope="module")
+def batch_server(batch_bot):
+    server, port = start_background(
+        batch_bot,
+        max_concurrency=4,
+        max_queue_depth=4,
+        queue_timeout_s=30.0,
+        max_batch_size=6,
+    )
+    yield server, port
+    server.shutdown()
+
+
+class TestAskBatchSchema:
+    def test_mixed_strings_and_objects_in_order(self, batch_server):
+        _, port = batch_server
+        status, payload, _ = _post(
+            port,
+            "/ask_batch",
+            {
+                "questions": [
+                    "Which country is AS2497 registered in?",
+                    {"question": "How many prefixes does AS2497 originate?"},
+                ]
+            },
+        )
+        assert status == 200
+        assert payload["count"] == 2
+        assert [item["ok"] for item in payload["results"]] == [True, True]
+        first = payload["results"][0]["response"]
+        assert first["question"] == "Which country is AS2497 registered in?"
+        assert first["answer"]
+        assert "diagnostics" in first
+
+    def test_partial_failure_keeps_positions(self, batch_server):
+        _, port = batch_server
+        status, payload, _ = _post(
+            port,
+            "/ask_batch",
+            {
+                "questions": [
+                    "Which country is AS2497 registered in?",
+                    "",  # invalid: reported in place, siblings still answered
+                    {"question": "  "},
+                    {"question": "Which IXPs is AS2497 a member of?"},
+                    42,
+                ]
+            },
+        )
+        assert status == 200
+        oks = [item["ok"] for item in payload["results"]]
+        assert oks == [True, False, False, True, False]
+        assert "question" in payload["results"][1]["error"]
+        assert "string or an object" in payload["results"][4]["error"]
+
+    def test_envelope_validation(self, batch_server):
+        _, port = batch_server
+        for bad in ({}, {"questions": "nope"}, {"questions": []}):
+            status, payload, _ = _post(port, "/ask_batch", bad)
+            assert status == 400
+            assert "questions" in payload["error"]
+
+    def test_batch_size_cap(self, batch_server):
+        _, port = batch_server
+        status, payload, _ = _post(
+            port, "/ask_batch", {"questions": ["q"] * 7}
+        )
+        assert status == 400
+        assert "exceeds 6" in payload["error"]
+
+    def test_bad_batch_level_deadline(self, batch_server):
+        _, port = batch_server
+        status, payload, _ = _post(
+            port, "/ask_batch", {"questions": ["q"], "deadline_ms": -5}
+        )
+        assert status == 400
+        assert "deadline_ms" in payload["error"]
+
+    def test_bad_item_deadline_is_per_item(self, batch_server):
+        _, port = batch_server
+        status, payload, _ = _post(
+            port,
+            "/ask_batch",
+            {
+                "questions": [
+                    {"question": "q one", "deadline_ms": True},
+                    "Which country is AS2497 registered in?",
+                ]
+            },
+        )
+        assert status == 200
+        assert [item["ok"] for item in payload["results"]] == [False, True]
+        assert "deadline_ms" in payload["results"][0]["error"]
+
+
+class TestAskBatchDeadlines:
+    def test_tiny_per_item_deadline_degrades_only_that_item(self, batch_server):
+        _, port = batch_server
+        status, payload, _ = _post(
+            port,
+            "/ask_batch",
+            {
+                "questions": [
+                    {
+                        "question": "Which ASes does AS2497 peer with at IXPs?",
+                        "deadline_ms": 0.001,
+                    },
+                    "Which IXPs is AS15169 a member of?",
+                ]
+            },
+        )
+        assert status == 200
+        degraded_item, fresh_item = payload["results"]
+        assert degraded_item["ok"] and fresh_item["ok"]
+        assert degraded_item["response"]["diagnostics"]["degraded"]
+        assert not fresh_item["response"]["diagnostics"]["degraded"]
+
+
+class TestAskBatchAdmission:
+    def test_workers_bounded_by_free_admission_slots(self, batch_server):
+        server, port = batch_server
+        admission = server.admission
+        # Occupy 3 of 4 slots: the batch gets its one blocking slot and no
+        # free extras -> serial fan-out.
+        for _ in range(3):
+            assert admission.try_acquire()
+        try:
+            status, payload, _ = _post(
+                port, "/ask_batch", {"questions": ["q a", "q b", "q c"]}
+            )
+        finally:
+            for _ in range(3):
+                admission.release()
+        assert status == 200
+        assert payload["workers"] == 1
+        assert all(item["ok"] for item in payload["results"])
+        # Idle server: batch widens up to its item count.
+        status, payload, _ = _post(
+            port, "/ask_batch", {"questions": ["q d", "q e", "q f"]}
+        )
+        assert status == 200
+        assert payload["workers"] == 3
+
+    def test_batch_is_shed_when_no_slot_frees_up(self, batch_bot, small_dataset):
+        server, port = start_background(
+            batch_bot,
+            max_concurrency=1,
+            max_queue_depth=0,
+            queue_timeout_s=0.05,
+            max_batch_size=4,
+        )
+        try:
+            assert server.admission.try_acquire()  # saturate the only slot
+            try:
+                status, payload, headers = _post(
+                    port, "/ask_batch", {"questions": ["q x"]}
+                )
+            finally:
+                server.admission.release()
+            assert status == 503
+            assert "Retry-After" in headers
+        finally:
+            server.shutdown()
+
+    def test_slots_returned_after_batch(self, batch_server):
+        server, port = batch_server
+        before = server.admission.snapshot()
+        status, _, _ = _post(port, "/ask_batch", {"questions": ["q g", "q h"]})
+        assert status == 200
+        after = server.admission.snapshot()
+        assert after["active"] == before["active"] == 0
+
+
+class TestAskBatchAPI:
+    def test_deadline_sequence_length_mismatch(self, batch_bot):
+        with pytest.raises(ValueError, match="length"):
+            batch_bot.ask_batch(["a", "b"], deadline_ms=[100.0])
+
+    def test_empty_batch(self, batch_bot):
+        assert batch_bot.ask_batch([]) == []
+
+    def test_outcomes_in_input_order(self, batch_bot):
+        questions = [
+            "Which country is AS2497 registered in?",
+            "Which country is AS15169 registered in?",
+        ]
+        outcomes = batch_bot.ask_batch(questions, workers=2)
+        assert [outcome.value.question for outcome in outcomes] == questions
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_deadlines_start_at_call_time(self, batch_bot):
+        # An already-expired shared deadline should degrade, not hang.
+        deadline = Deadline(0.001)
+        response = batch_bot.ask(
+            "Which ASes peer with AS2497 at AMS-IX?", deadline=deadline
+        )
+        assert response.diagnostics.get("degraded")

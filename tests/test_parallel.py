@@ -1,0 +1,446 @@
+"""Batch execution layer: runner, single-flight coalescing, and the
+parallel-vs-serial equivalence guarantees of the evaluation harness."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ChatIYP, ChatIYPConfig
+from repro.embed.vector_store import VectorStore
+from repro.eval.cyphereval import build_cyphereval
+from repro.eval.harness import EvaluationHarness
+from repro.nlp.tokenize import word_tokenize
+from repro.parallel import (
+    BatchDeadlineExceeded,
+    ParallelRunner,
+    SingleFlight,
+)
+from repro.parallel import singleflight as sf
+from repro.rag.vector_retriever import VectorContextRetriever
+from repro.serving import Deadline
+
+
+# ---------------------------------------------------------------------------
+# ParallelRunner
+# ---------------------------------------------------------------------------
+
+
+class TestParallelRunner:
+    def test_results_preserve_input_order(self):
+        runner = ParallelRunner(workers=4)
+        # Later items finish first: without ordered collection this returns
+        # in completion order and the assertion fails.
+        delays = [0.03, 0.02, 0.01, 0.0]
+        results = runner.map(
+            lambda pair: (time.sleep(pair[1]), pair[0])[1],
+            list(enumerate(delays)),
+        )
+        assert results == [0, 1, 2, 3]
+
+    def test_workers_one_runs_inline_on_calling_thread(self):
+        runner = ParallelRunner(workers=1)
+        threads = runner.map(lambda _: threading.current_thread().name, range(3))
+        assert threads == [threading.current_thread().name] * 3
+
+    def test_single_item_runs_inline_even_with_many_workers(self):
+        runner = ParallelRunner(workers=8)
+        [name] = runner.map(lambda _: threading.current_thread().name, [0])
+        assert name == threading.current_thread().name
+
+    def test_map_outcomes_captures_errors_per_item(self):
+        runner = ParallelRunner(workers=3)
+
+        def flaky(n):
+            if n % 2:
+                raise ValueError(f"bad {n}")
+            return n * 10
+
+        outcomes = runner.map_outcomes(flaky, range(5))
+        assert [o.ok for o in outcomes] == [True, False, True, False, True]
+        assert [o.value for o in outcomes if o.ok] == [0, 20, 40]
+        assert str(outcomes[1].error) == "bad 1"
+        assert outcomes[3].index == 3
+        assert runner.tasks_failed == 2
+
+    def test_map_reraises_earliest_failure_by_index(self):
+        runner = ParallelRunner(workers=4)
+
+        def flaky(n):
+            if n >= 2:
+                raise ValueError(f"bad {n}")
+            return n
+
+        with pytest.raises(ValueError, match="bad 2"):
+            runner.map(flaky, range(6))
+
+    def test_expired_deadline_fails_items_fast(self):
+        clock = [0.0]
+        deadline = Deadline(5.0, clock=lambda: clock[0])
+        clock[0] = 10.0  # budget blown before the batch starts
+        runner = ParallelRunner(workers=2)
+        executed = []
+        outcomes = runner.map_outcomes(executed.append, range(4), deadline=deadline)
+        assert executed == []
+        assert all(isinstance(o.error, BatchDeadlineExceeded) for o in outcomes)
+
+    def test_live_deadline_lets_items_run(self):
+        deadline = Deadline(60_000.0)
+        runner = ParallelRunner(workers=2)
+        assert runner.map(lambda n: n + 1, range(3), deadline=deadline) == [1, 2, 3]
+
+    def test_empty_items(self):
+        assert ParallelRunner(workers=4).map_outcomes(lambda x: x, []) == []
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=0)
+
+    def test_snapshot_counts(self):
+        runner = ParallelRunner(workers=2)
+        runner.map(lambda x: x, range(5))
+        snap = runner.snapshot()
+        assert snap == {"workers": 2, "tasks_run": 5, "tasks_failed": 0}
+
+
+# ---------------------------------------------------------------------------
+# SingleFlight primitive
+# ---------------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_leader_then_follower(self):
+        flights = SingleFlight()
+        leader, flight = flights.begin("k")
+        assert leader
+        follower, same = flights.begin("k")
+        assert not follower and same is flight
+
+        done = {}
+
+        def wait():
+            status = flight.wait(5.0)
+            done["status"], done["value"] = status, flight.value
+
+        thread = threading.Thread(target=wait)
+        thread.start()
+        # Deterministically wait for the follower to park before settling.
+        for _ in range(500):
+            if flights.waiters("k"):
+                break
+            time.sleep(0.002)
+        flights.finish(flight, value=42)
+        thread.join(5.0)
+        assert done == {"status": sf.OK, "value": 42}
+
+    def test_finished_flight_is_unregistered_before_wakeup(self):
+        flights = SingleFlight()
+        _, flight = flights.begin("k")
+        flights.finish(flight, value=1)
+        leader_again, fresh = flights.begin("k")
+        assert leader_again and fresh is not flight
+
+    def test_leader_failure_propagates_as_failed(self):
+        flights = SingleFlight()
+        _, flight = flights.begin("k")
+        flights.finish(flight, error=RuntimeError("boom"))
+        assert flight.wait(0.1) == sf.FAILED
+
+    def test_wait_timeout(self):
+        flights = SingleFlight()
+        _, flight = flights.begin("k")
+        assert flight.wait(0.01) == sf.TIMEOUT
+
+    def test_snapshot(self):
+        flights = SingleFlight()
+        flights.begin("a")
+        flights.begin("a")
+        snap = flights.snapshot()
+        assert snap["in_flight"] == 1
+        assert snap["led"] == 1
+        assert snap["coalesced"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Single-flight coalescing through ChatIYP.ask
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def coalescing_bot(small_dataset):
+    return ChatIYP(
+        dataset=small_dataset,
+        config=ChatIYPConfig(dataset_size="small", answer_cache_size=64),
+    )
+
+
+def _park_pipeline(bot, release):
+    """Wrap the bot's pipeline so executions block until ``release`` is set,
+    recording every execution."""
+    executions = []
+    real_query = bot.pipeline.query
+
+    def parked_query(text, deadline=None):
+        executions.append(text)
+        assert release.wait(10.0), "test never released the pipeline"
+        return real_query(text, deadline=deadline)
+
+    bot.pipeline.query = parked_query
+    return executions
+
+
+class TestAskCoalescing:
+    def test_identical_concurrent_questions_execute_once(self, coalescing_bot):
+        bot = coalescing_bot
+        question = "Which country is AS2497 registered in?"
+        release = threading.Event()
+        executions = _park_pipeline(bot, release)
+
+        n = 6
+        responses = [None] * n
+
+        def ask(i):
+            responses[i] = bot.ask(question)
+
+        threads = [threading.Thread(target=ask, args=(i,)) for i in range(n)]
+        for thread in threads:
+            thread.start()
+        # Wait until the other N-1 requests are parked on the leader's
+        # flight, then let the leader run: deterministic overlap.
+        key = bot._request_key(question)
+        for _ in range(2000):
+            if bot.inflight.waiters(key) == n - 1:
+                break
+            time.sleep(0.002)
+        assert bot.inflight.waiters(key) == n - 1
+        release.set()
+        for thread in threads:
+            thread.join(15.0)
+
+        assert executions == [question]  # one pipeline execution, ever
+        answers = {response.answer for response in responses}
+        assert len(answers) == 1  # N identical answers
+        coalesced = [r for r in responses if r.diagnostics.get("coalesced")]
+        assert len(coalesced) == n - 1
+        counters = bot.metrics.snapshot()["counters"]
+        assert counters["singleflight.coalesced"] == n - 1
+        assert counters.get("singleflight.fallthrough", 0) == 0
+        # MetricsRegistry stage aggregates agree: one synthesis run total.
+        assert bot.metrics.snapshot()["stages"]["synthesis"]["calls"] == 1
+
+    def test_distinct_concurrent_questions_are_not_coalesced(self, coalescing_bot):
+        bot = coalescing_bot
+        questions = [
+            "Which country is AS2497 registered in?",
+            "How many prefixes does AS2497 originate?",
+        ]
+        release = threading.Event()
+        executions = _park_pipeline(bot, release)
+
+        threads = [
+            threading.Thread(target=bot.ask, args=(question,)) for question in questions
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(2000):
+            if len(executions) == 2:
+                break
+            time.sleep(0.002)
+        release.set()
+        for thread in threads:
+            thread.join(15.0)
+
+        assert sorted(executions) == sorted(questions)
+        counters = bot.metrics.snapshot()["counters"]
+        assert counters.get("singleflight.coalesced", 0) == 0
+
+    def test_follower_copies_do_not_share_mutable_state(self, coalescing_bot):
+        bot = coalescing_bot
+        question = "Which country is AS2497 registered in?"
+        release = threading.Event()
+        _park_pipeline(bot, release)
+        release.set()
+        first = bot.ask(question)
+        second = bot.ask(question)  # cache hit: same sharing rules
+        second.diagnostics["mutated"] = True
+        second.context_snippets.append("junk")
+        assert "mutated" not in first.diagnostics
+        assert "junk" not in first.context_snippets
+
+    def test_coalescing_disabled_by_config(self, small_dataset):
+        bot = ChatIYP(
+            dataset=small_dataset,
+            config=ChatIYPConfig(dataset_size="small", coalesce_inflight=False),
+        )
+        assert bot.inflight is None
+        assert bot.serving_snapshot()["inflight"] is None
+        assert bot.ask("Which country is AS2497 registered in?").answer
+
+
+# ---------------------------------------------------------------------------
+# Parallel-vs-serial evaluation equivalence
+# ---------------------------------------------------------------------------
+
+#: diagnostics keys that legitimately differ between runs (wall-clock, and
+#: cache/coalescing provenance when duplicates overlap in time)
+_VOLATILE_DIAGNOSTICS = {"stage_timings", "cache_hit", "coalesced"}
+
+
+def _comparable(evaluation):
+    """Everything in a QuestionEvaluation that must be bit-identical."""
+    return {
+        "question": evaluation.question.question,
+        "answer": evaluation.answer,
+        "reference": evaluation.reference,
+        "cypher": evaluation.cypher,
+        "retrieval_source": evaluation.retrieval_source,
+        "used_fallback": evaluation.used_fallback,
+        "gold_empty": evaluation.gold_empty,
+        "gold_facts": sorted(evaluation.gold_facts),
+        "scores": evaluation.scores,
+        "geval_breakdown": evaluation.geval_breakdown,
+        "diagnostics": {
+            key: value
+            for key, value in evaluation.diagnostics.items()
+            if key not in _VOLATILE_DIAGNOSTICS
+        },
+    }
+
+
+class TestParallelEvalEquivalence:
+    @pytest.fixture(scope="class")
+    def eval_questions(self, small_dataset):
+        return build_cyphereval(small_dataset, seed=7, per_template=1)[:18]
+
+    def _fresh_harness(self, small_dataset, eval_questions):
+        bot = ChatIYP(
+            dataset=small_dataset, config=ChatIYPConfig(dataset_size="small")
+        )
+        return EvaluationHarness(bot, list(eval_questions))
+
+    def test_workers8_report_is_bit_identical_to_serial(
+        self, small_dataset, eval_questions
+    ):
+        serial = self._fresh_harness(small_dataset, eval_questions).run(workers=1)
+        parallel = self._fresh_harness(small_dataset, eval_questions).run(workers=8)
+
+        assert len(serial) == len(parallel)
+        for left, right in zip(serial.evaluations, parallel.evaluations):
+            assert _comparable(left) == _comparable(right)
+        for metric in ("bleu", "rouge1", "rouge2", "rougeL", "bertscore", "geval"):
+            assert serial.scores(metric) == parallel.scores(metric)
+            assert serial.mean(metric) == parallel.mean(metric)
+
+    def test_evaluate_alias_accepts_workers(self, small_dataset, eval_questions):
+        harness = self._fresh_harness(small_dataset, eval_questions)
+        report = harness.evaluate(limit=4, workers=3)
+        assert len(report) == 4
+
+
+# ---------------------------------------------------------------------------
+# VectorStore thread safety + retriever token-set cache
+# ---------------------------------------------------------------------------
+
+
+class TestVectorStoreConcurrency:
+    def test_search_during_concurrent_invalidation(self):
+        store = VectorStore()
+        store.add_batch([(f"seed-{i}", f"entry about topic {i}", {}) for i in range(64)])
+
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    hits = store.search("entry about topic 3", top_k=5)
+                    assert hits, "indexed corpus must keep matching"
+                    for hit in hits:
+                        assert hit.text.startswith("entry")
+                except Exception as exc:  # noqa: BLE001 - the assertion itself
+                    errors.append(exc)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        # Writer keeps invalidating the lazy matrix while readers search.
+        for i in range(150):
+            store.add(f"new-{i}", f"entry appended later {i}")
+        stop.set()
+        for thread in readers:
+            thread.join(10.0)
+        assert errors == []
+        assert len(store) == 64 + 150
+
+    def test_duplicate_ids_still_rejected(self):
+        store = VectorStore()
+        store.add("a", "text")
+        with pytest.raises(ValueError, match="duplicate"):
+            store.add("a", "other")
+        with pytest.raises(ValueError, match="duplicate"):
+            store.add_batch([("b", "x", {}), ("b", "y", {})])
+
+    def test_entries_snapshot_is_stable(self):
+        store = VectorStore()
+        store.add("a", "text")
+        snapshot = store.entries()
+        store.add("b", "more")
+        assert [entry.entry_id for entry in snapshot] == ["a"]
+
+
+class TestTokenSetCache:
+    def test_cached_scores_match_recomputed_scores(self, small_store):
+        retriever = VectorContextRetriever(small_store, top_k=8)
+        assert retriever._entry_tokens  # precomputed at index time
+
+        queries = [
+            "Which country is AS2497 registered in?",
+            "Japanese networks at internet exchanges",
+            "prefixes originated by AS15169",
+            "sing me a sea shanty",
+        ]
+        for query in queries:
+            result = retriever.retrieve(query)
+            # Recompute the lexical boost exactly as the pre-cache code did
+            # (word_tokenize per hit per query) and compare scores.
+            from repro.nlp.tokenize import STOPWORDS
+
+            distinctive = {
+                token
+                for token in word_tokenize(query)
+                if token not in STOPWORDS
+                and (len(token) > 3 or any(c.isdigit() for c in token))
+            }
+            hits = retriever.vector_store.search(
+                query, top_k=retriever.top_k * retriever._OVERSAMPLE, min_score=0.02
+            )
+            recomputed = []
+            for hit in hits:
+                score = hit.score
+                if distinctive:
+                    text_tokens = set(word_tokenize(hit.text))
+                    score += (
+                        retriever._LEXICAL_WEIGHT
+                        * len(distinctive & text_tokens)
+                        / len(distinctive)
+                    )
+                recomputed.append((hit.entry_id, round(score, 6)))
+            recomputed.sort(key=lambda pair: -pair[1])
+            expected = recomputed[: retriever.top_k]
+            actual = [(item.node.node_id, item.score) for item in result.nodes]
+            assert [score for _, score in actual] == [score for _, score in expected]
+            assert sorted(node_id for node_id, _ in actual) == sorted(
+                node_id for node_id, _ in expected
+            )
+
+    def test_lazily_indexed_entries_get_tokenized_on_first_hit(self, small_store):
+        retriever = VectorContextRetriever(small_store, top_k=4)
+        retriever.vector_store.add(
+            "late-entry", "AS64500 is a freshly indexed autonomous system"
+        )
+        assert "late-entry" not in retriever._entry_tokens
+        retriever.retrieve("freshly indexed autonomous system AS64500")
+        assert "late-entry" in retriever._entry_tokens
