@@ -47,6 +47,13 @@ ENGINE_QUERIES = {
         "MATCH (:AS {asn: 2497})-[:DEPENDS_ON*1..2]->(t:AS) "
         "RETURN count(DISTINCT t) AS n"
     ),
+    "range_scan": (
+        "MATCH (a:AS) WHERE a.asn >= 1000 AND a.asn < 10000 "
+        "RETURN count(a) AS n"
+    ),
+    "order_by_limit": (
+        "MATCH (a:AS) RETURN a.asn AS asn ORDER BY a.asn LIMIT 10"
+    ),
 }
 
 #: Median latencies (ms) measured on the pre-planner seed revision with the
@@ -59,6 +66,7 @@ SEED_MEDIANS_MS = {
     "two_hop": 0.086,
     "grouped_aggregation": 4.17,
     "var_length": 0.092,
+    # range_scan / order_by_limit postdate the seed revision (no baseline).
 }
 
 
@@ -108,6 +116,20 @@ def test_perf_grouped_aggregation(benchmark, engine):
 def test_perf_var_length_expansion(benchmark, engine):
     result = benchmark(engine.run, ENGINE_QUERIES["var_length"])
     assert result.single()["n"] >= 1
+
+
+@pytest.mark.perf_smoke
+def test_perf_range_scan(benchmark, engine):
+    # Comparison conjunction pushed into the sorted property index.
+    result = benchmark(engine.run, ENGINE_QUERIES["range_scan"])
+    assert result.single()["n"] >= 1
+
+
+@pytest.mark.perf_smoke
+def test_perf_order_by_limit(benchmark, engine):
+    # Top-k over a sorted index: index-ordered scan, no full sort.
+    result = benchmark(engine.run, ENGINE_QUERIES["order_by_limit"])
+    assert len(result) == 10
 
 
 def test_perf_query_parse_cached(benchmark, engine):
@@ -175,6 +197,11 @@ def run_quick(output: Path | None, batches: int = 10, runs: int = 20) -> dict:
         "queries": results,
     }
     if output is not None:
+        if output.exists():
+            # Other benchmarks (bench_batch.py) park their sections in the
+            # same file — carry any key this runner doesn't own across.
+            previous = json.loads(output.read_text())
+            payload = {**{k: v for k, v in previous.items() if k not in payload}, **payload}
         output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {output}", file=sys.stderr)
     return payload

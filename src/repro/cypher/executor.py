@@ -14,8 +14,10 @@ Entry point: :class:`CypherEngine` (``engine.run(query, **params)``).
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Any, Iterable, Iterator, Optional, Union
 
 from ..graph.model import Node, Path, Relationship
@@ -249,7 +251,14 @@ class CypherEngine:
             if plan is not None and plan.filters:
                 for variable in sorted(plan.filters):
                     for filt in plan.filters[variable]:
-                        op = "=" if filt.kind == "eq" else "IN"
+                        if filt.kind == "eq":
+                            op = "="
+                        elif filt.kind == "in":
+                            op = "IN"
+                        elif filt.kind == "range":
+                            op = filt.ops[0]
+                        else:
+                            op = "STARTS WITH"
                         lines.append(f"  Pushdown {variable}.{filt.key} {op} ...")
             if clause.where is not None:
                 lines.append("  Filter (WHERE)")
@@ -331,8 +340,16 @@ class CypherEngine:
         return ResultSet(keys, records, **context.counters())
 
     def _run_single(self, tree: ast.SingleQuery, context: "_ExecutionContext") -> ResultSet:
+        final = self._try_index_ordered(tree, context)
+        if final is not None:
+            final.nodes_created = context.nodes_created
+            final.relationships_created = context.relationships_created
+            final.properties_set = context.properties_set
+            final.nodes_deleted = context.nodes_deleted
+            final.relationships_deleted = context.relationships_deleted
+            return final
         rows: list[Row] = [{}]
-        final: Optional[ResultSet] = None
+        final = None
         clauses = tree.clauses
         for index, clause in enumerate(clauses):
             if isinstance(clause, ast.MatchClause):
@@ -365,6 +382,122 @@ class CypherEngine:
         final.nodes_deleted = context.nodes_deleted
         final.relationships_deleted = context.relationships_deleted
         return final
+
+    def _try_index_ordered(
+        self, tree: ast.SingleQuery, context: "_ExecutionContext"
+    ) -> Optional[ResultSet]:
+        """Index-ordered top-k scan for ``MATCH (n:L) ... RETURN ... ORDER BY n.key LIMIT k``.
+
+        When a single-node MATCH feeds straight into an ordered, limited
+        RETURN and a sorted index covers the ORDER BY key, rows can be
+        streamed in index order and collection stopped as soon as the top
+        ``SKIP + LIMIT`` rows (plus their whole tie group on the primary
+        key, which the canonical tie-break may still reorder) are in hand —
+        skipping both the full label scan and the full sort.  The collected
+        prefix then flows through the ordinary projection operator, so
+        output is row-for-row identical to the unfused pipeline.
+        """
+        if context.plans is None or len(tree.clauses) != 2:
+            return None
+        match, ret = tree.clauses
+        if not isinstance(match, ast.MatchClause) or not isinstance(ret, ast.ReturnClause):
+            return None
+        if match.optional or len(match.pattern.parts) != 1:
+            return None
+        part = match.pattern.parts[0]
+        if part.shortest is not None or part.path_variable is not None:
+            return None
+        if len(part.elements) != 1:
+            return None
+        node_pattern = part.elements[0]
+        assert isinstance(node_pattern, ast.NodePattern)
+        variable = node_pattern.variable
+        if variable is None:
+            return None
+        if ret.star or ret.distinct or ret.limit is None or len(ret.order_by) != 1:
+            return None
+        order_item = ret.order_by[0]
+        order_expr = order_item.expression
+        if not (
+            isinstance(order_expr, ast.PropertyAccess)
+            and isinstance(order_expr.subject, ast.Variable)
+            and order_expr.subject.name == variable
+        ):
+            return None
+        if any(_contains_aggregate(item.expression) for item in ret.items):
+            return None
+        plan = context.plans.get(id(match))
+        if plan is None:
+            return None
+        anchor = plan.parts[0].anchor
+        descending = order_item.descending
+        if anchor.kind == "label":
+            stream = self.store.nodes_in_order(
+                anchor.label, order_expr.key, descending
+            )
+            if stream is None:
+                return None
+        elif anchor.kind in ("range", "prefix") and anchor.key == order_expr.key:
+            # Range/prefix scans already stream in key order (ascending);
+            # nodes with a null/unorderable key can never pass the pushed
+            # conjunct the anchor came from, so there is no null band.
+            stream = self._anchor_stream(node_pattern, anchor, context)
+            if stream is None:
+                return None
+            if descending:
+                materialised = list(stream)
+                materialised.reverse()
+                stream = iter(materialised)
+        else:
+            return None
+
+        needed = self._fused_row_budget(ret, context)
+        if needed == 0:
+            return context.apply_return([], ret)
+        evaluate = context.evaluator.evaluate
+        collected: list[Row] = []
+        boundary: Any = None
+        for node in stream:
+            row = context._bind_node(node_pattern, node, {}, plan.filters)
+            if row is None:
+                continue
+            if match.where is not None:
+                if is_truthy(evaluate(match.where, row)) is not True:
+                    continue
+            key = sort_key(evaluate(order_expr, row))
+            if descending:
+                key = _Descending(key)
+            if len(collected) >= needed and boundary < key:
+                break
+            collected.append(row)
+            if len(collected) == needed:
+                boundary = key
+        return context.apply_return(collected, ret)
+
+    def _anchor_stream(
+        self,
+        node_pattern: ast.NodePattern,
+        anchor: AnchorPlan,
+        context: "_ExecutionContext",
+    ) -> Optional[Iterator[Node]]:
+        """The range/prefix anchor's key-ordered node stream (None = no index)."""
+        if anchor.kind == "range":
+            bounds = context._range_bounds(anchor, {})
+            if bounds is None:
+                return None
+            return self.store.nodes_in_range(anchor.label, anchor.key, **bounds)
+        prefix = context.evaluator.evaluate(anchor.values[0], {})
+        if not isinstance(prefix, str):
+            return None
+        return self.store.nodes_by_prefix(anchor.label, anchor.key, prefix)
+
+    @staticmethod
+    def _fused_row_budget(ret: ast.ReturnClause, context: "_ExecutionContext") -> int:
+        """SKIP + LIMIT row count the fused scan must fully tie-resolve."""
+        needed = context._bounded_int(ret.limit, "LIMIT")
+        if ret.skip is not None:
+            needed += context._bounded_int(ret.skip, "SKIP")
+        return needed
 
 
 # ---------------------------------------------------------------------------
@@ -850,6 +983,22 @@ class _ExecutionContext:
                         seen.add(node.node_id)
                         yield node
             return
+        if anchor is not None and anchor.kind == "range":
+            bounds = self._range_bounds(anchor, row)
+            if bounds is None:
+                # A null/odd bound can't bisect; the label scan plus the
+                # residual WHERE still produces the right (empty) rows.
+                yield from self.store.nodes_by_label(anchor.label)
+            else:
+                yield from self.store.nodes_in_range(anchor.label, anchor.key, **bounds)
+            return
+        if anchor is not None and anchor.kind == "prefix":
+            prefix = self.evaluator.evaluate(anchor.values[0], row)
+            if isinstance(prefix, str):
+                yield from self.store.nodes_by_prefix(anchor.label, anchor.key, prefix)
+            else:
+                yield from self.store.nodes_by_label(anchor.label)
+            return
         if anchor is not None and anchor.kind == "label":
             yield from self.store.nodes_by_label(anchor.label)
             return
@@ -868,6 +1017,28 @@ class _ExecutionContext:
             yield from self.store.nodes_by_label(node_pattern.labels[0])
             return
         yield from self.store.all_nodes()
+
+    def _range_bounds(
+        self, anchor: "AnchorPlan", row: Row
+    ) -> Optional[dict[str, Any]]:
+        """Evaluate a range anchor's bounds into ``nodes_in_range`` kwargs.
+
+        Returns None when any bound evaluates to null (no row can compare
+        true against it, but the caller falls back to a verified label scan
+        rather than reasoning about ternary logic here).
+        """
+        bounds: dict[str, Any] = {}
+        for op, expr in zip(anchor.ops, anchor.values):
+            value = self.evaluator.evaluate(expr, row)
+            if value is None:
+                return None
+            if op in (">", ">="):
+                bounds["lower"] = value
+                bounds["include_lower"] = op == ">="
+            else:
+                bounds["upper"] = value
+                bounds["include_upper"] = op == "<="
+        return bounds
 
     def _pick_lookup_property(
         self, node_pattern: ast.NodePattern
@@ -936,6 +1107,28 @@ class _ExecutionContext:
             if filt.kind == "eq":
                 wanted = self.evaluator.evaluate(filt.values[0], {})
                 if cypher_equals(actual, wanted) is not True:
+                    return False
+                continue
+            if filt.kind == "range":
+                for op, expr in zip(filt.ops, filt.values):
+                    wanted = self.evaluator.evaluate(expr, {})
+                    comparison = cypher_compare(actual, wanted)
+                    if comparison is None:
+                        return False
+                    if op == "<" and not comparison < 0:
+                        return False
+                    if op == "<=" and not comparison <= 0:
+                        return False
+                    if op == ">" and not comparison > 0:
+                        return False
+                    if op == ">=" and not comparison >= 0:
+                        return False
+                continue
+            if filt.kind == "prefix":
+                wanted = self.evaluator.evaluate(filt.values[0], {})
+                if not isinstance(actual, str) or not isinstance(wanted, str):
+                    return False
+                if not actual.startswith(wanted):
                     return False
                 continue
             candidates = self._filter_candidates(filt)
@@ -1046,15 +1239,17 @@ class _ExecutionContext:
                 unique.append((values, env))
             produced = unique
 
-        if clause.order_by:
-            produced = self._order(produced, clause.order_by, items, keys, aggregated)
-
         start = 0
         if clause.skip is not None:
             start = self._bounded_int(clause.skip, "SKIP")
         end: Optional[int] = None
         if clause.limit is not None:
             end = start + self._bounded_int(clause.limit, "LIMIT")
+
+        if clause.order_by:
+            produced = self._order(
+                produced, clause.order_by, items, keys, aggregated, top=end
+            )
         produced = produced[start:end]
 
         records = [Record(keys, values) for values, _ in produced]
@@ -1109,7 +1304,17 @@ class _ExecutionContext:
         items: list[ast.ReturnItem],
         keys: list[str],
         aggregated: bool,
+        top: Optional[int] = None,
     ) -> list[tuple[list[Any], list[Row]]]:
+        """Sort ``produced``; with ``top`` set, only the first ``top`` rows.
+
+        Every row's full ORDER BY key (including the canonical tie-break) is
+        evaluated exactly once up front and reused by whichever selection
+        runs: ``heapq.nsmallest`` bounded selection when ``top`` covers less
+        than the input (O(n log k), never materialises a full sort), else a
+        plain stable sort.  Both are stable on equal keys, so the heap path
+        is row-for-row identical to sorting and slicing.
+        """
         def order_values(entry: tuple[list[Any], list[Row]]) -> tuple:
             values, env_rows = entry
             alias_env = dict(zip(keys, values))
@@ -1136,7 +1341,13 @@ class _ExecutionContext:
                 sort_parts.append(())
             return tuple(sort_parts)
 
-        return sorted(produced, key=order_values)
+        decorated = [(order_values(entry), entry) for entry in produced]
+        if top is not None and 0 <= top < len(decorated):
+            selected = heapq.nsmallest(top, decorated, key=itemgetter(0))
+        else:
+            decorated.sort(key=itemgetter(0))
+            selected = decorated
+        return [entry for _, entry in selected]
 
     def _bounded_int(self, expr: ast.Expr, what: str) -> int:
         value = self.evaluator.evaluate(expr, {})

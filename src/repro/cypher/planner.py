@@ -43,16 +43,21 @@ _PUSHABLE = (ast.Literal, ast.Parameter)
 
 @dataclass(frozen=True)
 class PushedFilter:
-    """One WHERE conjunct pushed to bind time: ``var.key = expr`` / ``IN``.
+    """One WHERE conjunct pushed to bind time.
 
-    ``values`` holds one expression for equality, or every list element for
-    ``IN``.  All expressions are literals or parameters, so they evaluate
-    without a row environment.
+    ``kind`` is ``"eq"`` (``var.key = expr``), ``"in"`` (``var.key IN
+    list``), ``"range"`` (one comparison bound ``var.key OP expr`` with
+    ``OP`` in ``< <= > >=``, the operator recorded in ``ops``) or
+    ``"prefix"`` (``var.key STARTS WITH expr``).  ``values`` holds one
+    expression for equality/range/prefix, or every list element for ``IN``.
+    All expressions are literals or parameters, so they evaluate without a
+    row environment.
     """
 
     key: str
-    kind: str  # "eq" | "in"
+    kind: str  # "eq" | "in" | "range" | "prefix"
     values: tuple[ast.Expr, ...]
+    ops: tuple[str, ...] = ()  # range only: comparison op per value
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,7 @@ class AnchorPlan:
     label: Optional[str] = None
     key: Optional[str] = None
     values: tuple[ast.Expr, ...] = ()
+    ops: tuple[str, ...] = ()  # range only: comparison op per value
     indexed: bool = False
     est_rows: float = 1.0
     est_examined: float = 1.0
@@ -92,9 +98,28 @@ class AnchorPlan:
                 f"PropertyLookup(:{self.label}.{self.key}"
                 f" IN {len(self.values)} values) [{via}]"
             )
+        if self.kind == "range":
+            bounds = " AND ".join(
+                f"{op} {_expr_text(value)}" for op, value in zip(self.ops, self.values)
+            )
+            return f"RangeLookup(:{self.label}.{self.key} {bounds}) [sorted-index]"
+        if self.kind == "prefix":
+            return (
+                f"PrefixLookup(:{self.label}.{self.key}"
+                f" STARTS WITH {_expr_text(self.values[0])}) [sorted-index]"
+            )
         if self.kind == "label":
             return f"LabelScan(:{self.label})"
         return "AllNodesScan"
+
+
+def _expr_text(expr: ast.Expr) -> str:
+    """Render a pushable (literal/parameter) expression for EXPLAIN."""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.Parameter):
+        return f"${expr.name}"
+    return "..."
 
 
 @dataclass(frozen=True)
@@ -134,19 +159,18 @@ class MatchPlan:
 # ---------------------------------------------------------------------------
 
 def extract_pushdown(where: Optional[ast.Expr]) -> dict[str, tuple[PushedFilter, ...]]:
-    """Collect pushable ``var.key = value`` / ``var.key IN list`` conjuncts.
+    """Collect pushable WHERE conjuncts: equality, ``IN``, comparisons, prefix.
 
     Only *top-level AND* conjuncts qualify (anything under OR/XOR/NOT must
     stay in the residual WHERE), and only with literal or parameter
-    values.  Returns ``variable -> filters``.
+    values.  Chained comparisons (``1 < a.asn <= 5``) contribute one range
+    filter per qualifying adjacent pair.  Returns ``variable -> filters``.
     """
     if where is None:
         return {}
     collected: dict[str, list[PushedFilter]] = {}
     for conjunct in _conjuncts(where):
-        pushed = _pushable_filter(conjunct)
-        if pushed is not None:
-            variable, filt = pushed
+        for variable, filt in _pushable_filters(conjunct):
             collected.setdefault(variable, []).append(filt)
     return {variable: tuple(filters) for variable, filters in collected.items()}
 
@@ -159,29 +183,54 @@ def _conjuncts(expr: ast.Expr) -> Iterable[ast.Expr]:
         yield expr
 
 
-def _pushable_filter(expr: ast.Expr) -> Optional[tuple[str, PushedFilter]]:
-    if isinstance(expr, ast.Comparison) and expr.ops == ("=",):
-        left, right = expr.operands
-        for subject, value in ((left, right), (right, left)):
-            target = _property_of_variable(subject)
-            if target is not None and isinstance(value, _PUSHABLE):
-                variable, key = target
-                return variable, PushedFilter(key=key, kind="eq", values=(value,))
-        return None
+#: Mirror image of each pushable comparison operator (for ``value OP var.key``).
+_FLIPPED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _pushable_filters(expr: ast.Expr) -> Iterable[tuple[str, PushedFilter]]:
+    if isinstance(expr, ast.Comparison):
+        # Each adjacent (left OP right) pair of a (possibly chained)
+        # comparison is its own conjunct: pushing any qualifying pair only
+        # narrows candidates, the full chain still runs in the residual
+        # WHERE.
+        for op, left, right in zip(expr.ops, expr.operands, expr.operands[1:]):
+            if op == "=":
+                for subject, value in ((left, right), (right, left)):
+                    target = _property_of_variable(subject)
+                    if target is not None and isinstance(value, _PUSHABLE):
+                        variable, key = target
+                        yield variable, PushedFilter(key=key, kind="eq", values=(value,))
+                        break
+            elif op in _FLIPPED_OP:
+                for subject, value, subject_op in (
+                    (left, right, op),
+                    (right, left, _FLIPPED_OP[op]),
+                ):
+                    target = _property_of_variable(subject)
+                    if target is not None and isinstance(value, _PUSHABLE):
+                        variable, key = target
+                        yield variable, PushedFilter(
+                            key=key, kind="range", values=(value,), ops=(subject_op,)
+                        )
+                        break
+        return
+    if isinstance(expr, ast.StringPredicate) and expr.op == "STARTS":
+        target = _property_of_variable(expr.left)
+        if target is not None and isinstance(expr.right, _PUSHABLE):
+            variable, key = target
+            yield variable, PushedFilter(key=key, kind="prefix", values=(expr.right,))
+        return
     if isinstance(expr, ast.InList):
         target = _property_of_variable(expr.value)
         if target is None:
-            return None
+            return
         variable, key = target
         if isinstance(expr.container, ast.ListLiteral) and all(
             isinstance(item, _PUSHABLE) for item in expr.container.items
         ):
-            return variable, PushedFilter(key=key, kind="in", values=expr.container.items)
-        if isinstance(expr.container, ast.Parameter):
-            return variable, PushedFilter(
-                key=key, kind="in", values=(expr.container,)
-            )
-    return None
+            yield variable, PushedFilter(key=key, kind="in", values=expr.container.items)
+        elif isinstance(expr.container, ast.Parameter):
+            yield variable, PushedFilter(key=key, kind="in", values=(expr.container,))
 
 
 def _property_of_variable(expr: ast.Expr) -> Optional[tuple[str, str]]:
@@ -218,11 +267,87 @@ def _candidate_lookups(
         for filt in filters.get(node.variable, ()):
             if filt.kind == "eq":
                 lookups.append(("property", filt.key, filt.values))
-            elif all(isinstance(value, ast.Literal) for value in filt.values):
+            elif filt.kind == "in" and all(
+                isinstance(value, ast.Literal) for value in filt.values
+            ):
                 # IN over literal lists fans out into index probes; IN over a
                 # parameter stays a bind-time filter (size unknown at plan time).
                 lookups.append(("property-in", filt.key, filt.values))
     return lookups
+
+
+#: Assumed fraction of a label surviving one / two pushed range bounds.
+_RANGE_SELECTIVITY = {1: 0.4, 2: 0.15}
+#: Assumed fraction of a label surviving a pushed STARTS WITH prefix.
+_PREFIX_SELECTIVITY = 0.05
+
+
+def _candidate_ordered_lookups(
+    node: ast.NodePattern,
+    stats: GraphStatistics,
+    filters: dict[str, tuple[PushedFilter, ...]],
+) -> list[AnchorPlan]:
+    """Sorted-index anchor candidates (range / prefix scans) for ``node``.
+
+    Range filters on the same key merge into at most one lower and one
+    upper bound (extra bounds stay bind-time filters); a candidate is only
+    produced when some label of the node has a sorted index on the key —
+    without one, a range scan degenerates to the label scan it would have
+    to beat.
+    """
+    if node.variable is None:
+        return []
+    candidates: list[AnchorPlan] = []
+    bounds: dict[str, dict[str, tuple[ast.Expr, str]]] = {}
+    prefixes: dict[str, ast.Expr] = {}
+    for filt in filters.get(node.variable, ()):
+        if filt.kind == "range":
+            op = filt.ops[0]
+            side = "lower" if op in (">", ">=") else "upper"
+            bounds.setdefault(filt.key, {}).setdefault(side, (filt.values[0], op))
+        elif filt.kind == "prefix":
+            prefixes.setdefault(filt.key, filt.values[0])
+    for key, sides in bounds.items():
+        label = next(
+            (lbl for lbl in node.labels if stats.has_sorted_index(lbl, key)), None
+        )
+        if label is None:
+            continue
+        ordered = [sides[side] for side in ("lower", "upper") if side in sides]
+        est = max(1.0, stats.label_count(label) * _RANGE_SELECTIVITY[len(ordered)])
+        candidates.append(
+            AnchorPlan(
+                kind="range",
+                variable=node.variable,
+                label=label,
+                key=key,
+                values=tuple(value for value, _ in ordered),
+                ops=tuple(op for _, op in ordered),
+                indexed=True,
+                est_rows=est,
+                est_examined=est,
+            )
+        )
+    for key, value in prefixes.items():
+        label = next(
+            (lbl for lbl in node.labels if stats.has_sorted_index(lbl, key)), None
+        )
+        if label is None:
+            continue
+        est = max(1.0, stats.label_count(label) * _PREFIX_SELECTIVITY)
+        candidates.append(
+            AnchorPlan(
+                kind="prefix",
+                variable=node.variable,
+                label=label,
+                key=key,
+                values=(value,),
+                indexed=True,
+                est_rows=est,
+                est_examined=est,
+            )
+        )
+    return candidates
 
 
 def plan_anchor(
@@ -268,6 +393,9 @@ def plan_anchor(
             )
             if best is None or _cost(candidate) < _cost(best):
                 best = candidate
+        for candidate in _candidate_ordered_lookups(node, stats, filters):
+            if best is None or _cost(candidate) < _cost(best):
+                best = candidate
     if best is not None:
         return best
     if label is not None:
@@ -290,7 +418,15 @@ def plan_anchor(
 
 def _cost(anchor: AnchorPlan) -> tuple[float, float, int]:
     """Comparable cost: output rows first, then rows examined, then tier."""
-    tier = {"bound": 0, "property": 1, "property-in": 1, "label": 2, "all": 3}
+    tier = {
+        "bound": 0,
+        "property": 1,
+        "property-in": 1,
+        "range": 2,
+        "prefix": 2,
+        "label": 3,
+        "all": 4,
+    }
     return (anchor.est_rows, anchor.est_examined, tier[anchor.kind])
 
 

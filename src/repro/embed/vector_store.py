@@ -8,6 +8,7 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
+from ..nlp.tokenize import word_tokenize
 from .model import HashingEmbedding
 
 __all__ = ["VectorEntry", "SearchHit", "VectorStore"]
@@ -47,13 +48,31 @@ class VectorStore:
     therefore neither crash a reader (``None`` never escapes the lock) nor
     truncate its hits (the snapshot's rows and the append-only entry list
     agree for every index the snapshot can produce).
+
+    Ranking uses ``np.argpartition`` partial selection rather than a full
+    sort: scores are exact and the returned order is identical to a full
+    stable descending sort (ties broken by insertion order), but only the
+    top candidates are ever ordered.
+
+    With ``token_prefilter=True`` an inverted token→row map narrows the
+    score computation to entries sharing at least one word token with the
+    query.  Scores stay exact for every candidate, but recall becomes
+    approximate: entries with no token overlap are skipped.  When *no*
+    entry overlaps the query the store falls back to a full scan rather
+    than returning nothing.
     """
 
-    def __init__(self, embedding: Optional[HashingEmbedding] = None) -> None:
+    def __init__(
+        self,
+        embedding: Optional[HashingEmbedding] = None,
+        token_prefilter: bool = False,
+    ) -> None:
         self.embedding = embedding or HashingEmbedding()
         self._entries: list[VectorEntry] = []
         self._matrix: Optional[np.ndarray] = None
-        self._ids: set[str] = set()
+        self._by_id: dict[str, VectorEntry] = {}
+        self._token_prefilter = bool(token_prefilter)
+        self._token_rows: dict[str, list[int]] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -64,10 +83,12 @@ class VectorStore:
         """Index ``text`` under ``entry_id`` (ids must be unique)."""
         vector = self.embedding.embed(text)
         with self._lock:
-            if entry_id in self._ids:
+            if entry_id in self._by_id:
                 raise ValueError(f"duplicate vector-store id: {entry_id}")
-            self._ids.add(entry_id)
-            self._entries.append(VectorEntry(entry_id, text, vector, dict(metadata or {})))
+            entry = VectorEntry(entry_id, text, vector, dict(metadata or {}))
+            self._index_tokens(len(self._entries), text)
+            self._entries.append(entry)
+            self._by_id[entry_id] = entry
             self._matrix = None  # invalidate
 
     def add_batch(self, items: list[tuple[str, str, dict[str, Any]]]) -> None:
@@ -85,13 +106,22 @@ class VectorStore:
         with self._lock:
             fresh: set[str] = set()
             for entry_id, _, _ in items:
-                if entry_id in self._ids or entry_id in fresh:
+                if entry_id in self._by_id or entry_id in fresh:
                     raise ValueError(f"duplicate vector-store id: {entry_id}")
                 fresh.add(entry_id)
             for (entry_id, text, metadata), vector in zip(items, vectors):
-                self._entries.append(VectorEntry(entry_id, text, vector, dict(metadata or {})))
-            self._ids.update(fresh)
+                entry = VectorEntry(entry_id, text, vector, dict(metadata or {}))
+                self._index_tokens(len(self._entries), text)
+                self._entries.append(entry)
+                self._by_id[entry_id] = entry
             self._matrix = None  # invalidate; rebuilt lazily in one stack
+
+    def _index_tokens(self, row: int, text: str) -> None:
+        """Record ``row`` under each of ``text``'s word tokens (lock held)."""
+        if not self._token_prefilter:
+            return
+        for token in set(word_tokenize(text)):
+            self._token_rows.setdefault(token, []).append(row)
 
     def _snapshot(self) -> tuple[np.ndarray, list[VectorEntry]]:
         """(matrix, entries) consistent pair; caller must not mutate either.
@@ -132,20 +162,96 @@ class VectorStore:
         if matrix.shape[0] == 0:
             return []
         query_vector = self.embedding.embed(query)
-        scores = matrix @ query_vector  # rows are unit-norm already
-        order = np.argsort(-scores, kind="stable")
-        hits: list[SearchHit] = []
-        for index in order:
-            entry = entries[int(index)]
-            score = float(scores[int(index)])
-            if score <= min_score:
-                break
-            if filter_fn is not None and not filter_fn(entry):
-                continue
-            hits.append(SearchHit(entry.entry_id, entry.text, score, dict(entry.metadata)))
-            if len(hits) >= top_k:
-                break
-        return hits
+        rows = self._candidate_rows(query, matrix.shape[0])
+        if rows is None:
+            scores = matrix @ query_vector  # rows are unit-norm already
+        else:
+            scores = matrix[rows] @ query_vector
+        return self._rank(scores, entries, rows, top_k, filter_fn, min_score)
+
+    def _rank(
+        self,
+        scores: np.ndarray,
+        entries: list[VectorEntry],
+        rows: Optional[np.ndarray],
+        top_k: int,
+        filter_fn: Callable[[VectorEntry], bool] | None,
+        min_score: float,
+    ) -> list[SearchHit]:
+        """Select top hits from ``scores`` via partial selection.
+
+        ``scores[i]`` belongs to ``entries[rows[i]]`` (or ``entries[i]``
+        when ``rows`` is None).  Starts with a ``top_k``-sized partition
+        and doubles it whenever ``filter_fn`` starves the result below
+        ``top_k`` without the scan having hit the ``min_score`` floor —
+        so the output is always identical to ranking a full stable sort.
+        """
+        total = int(scores.shape[0])
+        limit = min(top_k, total)
+        while True:
+            exhausted = limit >= total
+            hits: list[SearchHit] = []
+            stopped = False
+            for index in self._top_indices(scores, limit):
+                score = float(scores[int(index)])
+                if score <= min_score:
+                    stopped = True
+                    break
+                row = int(index) if rows is None else int(rows[int(index)])
+                entry = entries[row]
+                if filter_fn is not None and not filter_fn(entry):
+                    continue
+                hits.append(SearchHit(entry.entry_id, entry.text, score, dict(entry.metadata)))
+                if len(hits) >= top_k:
+                    stopped = True
+                    break
+            if stopped or exhausted:
+                return hits
+            limit = min(total, limit * 2)
+
+    @staticmethod
+    def _top_indices(scores: np.ndarray, limit: int) -> np.ndarray:
+        """Indices of the ``limit`` best scores, full-sort-identical order.
+
+        Descending score, ties in ascending index order (what a stable
+        argsort of ``-scores`` yields).  May return more than ``limit``
+        indices when the cut lands inside a tie group — the whole group is
+        included so callers never see a tie split differently than the
+        full sort would order it.
+        """
+        total = int(scores.shape[0])
+        if limit >= total:
+            return np.argsort(-scores, kind="stable")
+        partition = np.argpartition(-scores, limit - 1)[:limit]
+        threshold = scores[partition].min()
+        greater = np.nonzero(scores > threshold)[0]
+        if greater.size:
+            greater = greater[np.argsort(-scores[greater], kind="stable")]
+        equal = np.nonzero(scores == threshold)[0]  # ascending index = tie order
+        return np.concatenate([greater, equal])
+
+    def _candidate_rows(self, query: str, row_limit: int) -> Optional[np.ndarray]:
+        """Rows sharing a word token with ``query`` (None → scan all rows).
+
+        Only consulted when the store was built with ``token_prefilter``;
+        falls back to a full scan when the query has no word tokens, when
+        nothing overlaps, or when the prefilter would not shrink the scan.
+        Rows at or beyond ``row_limit`` (appended after the matrix
+        snapshot) are excluded so score lookups stay in bounds.
+        """
+        if not self._token_prefilter:
+            return None
+        tokens = set(word_tokenize(query))
+        if not tokens:
+            return None
+        candidates: set[int] = set()
+        with self._lock:
+            for token in tokens:
+                candidates.update(self._token_rows.get(token, ()))
+        candidates = {row for row in candidates if row < row_limit}
+        if not candidates or len(candidates) >= row_limit:
+            return None
+        return np.fromiter(sorted(candidates), dtype=np.intp, count=len(candidates))
 
     def entries(self) -> list[VectorEntry]:
         """Stable snapshot of the indexed entries (do not mutate them)."""
@@ -153,8 +259,6 @@ class VectorStore:
             return list(self._entries)
 
     def get(self, entry_id: str) -> Optional[VectorEntry]:
-        """Fetch one entry by id (None when missing)."""
-        for entry in self.entries():
-            if entry.entry_id == entry_id:
-                return entry
-        return None
+        """Fetch one entry by id in O(1) (None when missing)."""
+        with self._lock:
+            return self._by_id.get(entry_id)

@@ -1,0 +1,350 @@
+"""Sorted property indexes, range pushdown, top-k selection and vector top-k.
+
+Covers the indexed execution layer end to end: the store's sorted indexes
+(point/range/prefix/ordered access, invalidation), the planner's range and
+prefix access paths (EXPLAIN + costing), planner-on/off equivalence for the
+new paths before and after mutation, the executor's heap / index-ordered
+ORDER BY LIMIT fast paths, and the vector store's argpartition selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cypher import CypherEngine
+from repro.embed.model import HashingEmbedding
+from repro.embed.vector_store import SearchHit, VectorStore
+from repro.graph import GraphStore
+
+
+def _asns(nodes):
+    return [node.properties.get("asn") for node in nodes]
+
+
+@pytest.fixture()
+def indexed_store():
+    """Fresh store: 8 AS nodes with asn/name plus one node missing asn."""
+    store = GraphStore()
+    rows = [
+        (2497, "IIJ"),
+        (15169, "GOOGLE"),
+        (3320, "DTAG"),
+        (174, "COGENT-174"),
+        (701, "UUNET"),
+        (6939, "HURRICANE"),
+        (13335, "CLOUDFLARENET"),
+        (64512, "AS-PRIVATE"),
+    ]
+    for asn, name in rows:
+        store.create_node(["AS"], {"asn": asn, "name": name})
+    store.create_node(["AS"], {"name": "NO-ASN"})  # null band for asn
+    store.create_sorted_index("AS", "asn")
+    store.create_sorted_index("AS", "name")
+    return store
+
+
+class TestSortedIndexStore:
+    def test_range_inclusive_exclusive_bounds(self, indexed_store):
+        got = _asns(indexed_store.nodes_in_range("AS", "asn", 701, 13335))
+        assert got == [701, 2497, 3320, 6939, 13335]
+        got = _asns(
+            indexed_store.nodes_in_range(
+                "AS", "asn", 701, 13335, include_lower=False, include_upper=False
+            )
+        )
+        assert got == [2497, 3320, 6939]
+
+    def test_open_ended_ranges(self, indexed_store):
+        assert _asns(indexed_store.nodes_in_range("AS", "asn", lower=13335)) == [
+            13335,
+            15169,
+            64512,
+        ]
+        assert _asns(indexed_store.nodes_in_range("AS", "asn", upper=701)) == [174, 701]
+
+    def test_range_matches_label_scan_fallback(self, indexed_store):
+        plain = GraphStore()
+        for node in indexed_store.nodes_by_label("AS"):
+            plain.create_node(list(node.labels), dict(node.properties))
+        for lower, upper in ((None, None), (700, 7000), (2497, 2497), (99999, None)):
+            indexed = _asns(indexed_store.nodes_in_range("AS", "asn", lower, upper))
+            scanned = _asns(plain.nodes_in_range("AS", "asn", lower, upper))
+            # Index path yields value order, the fallback id order — the
+            # executor never relies on either, so compare as sets.
+            assert sorted(indexed) == sorted(scanned)
+
+    def test_prefix_lookup(self, indexed_store):
+        names = [
+            node.properties["name"]
+            for node in indexed_store.nodes_by_prefix("AS", "name", "C")
+        ]
+        assert names == ["CLOUDFLARENET", "COGENT-174"]
+        assert list(indexed_store.nodes_by_prefix("AS", "name", "ZZZ")) == []
+
+    def test_ordered_iteration_null_band(self, indexed_store):
+        ascending = _asns(indexed_store.nodes_in_order("AS", "asn"))
+        assert ascending[:-1] == sorted(a for a in ascending[:-1])
+        assert ascending[-1] is None  # missing key sorts last ascending
+        descending = _asns(indexed_store.nodes_in_order("AS", "asn", descending=True))
+        assert descending[0] is None  # ...and first descending
+        assert descending[1:] == ascending[:-1][::-1]
+
+    def test_ordered_iteration_requires_index(self, indexed_store):
+        assert indexed_store.nodes_in_order("AS", "country") is None
+        assert GraphStore().nodes_in_order("AS", "asn") is None
+
+    def test_mixed_type_bands_numbers_before_strings(self):
+        store = GraphStore()
+        for value in ("beta", 10, "alpha", 2, True):
+            store.create_node(["X"], {"v": value})
+        store.create_sorted_index("X", "v")
+        ordered = [node.properties["v"] for node in store.nodes_in_order("X", "v")]
+        assert ordered == [2, 10, "alpha", "beta", True]
+        # A numeric range never leaks strings or booleans.
+        in_range = [node.properties["v"] for node in store.nodes_in_range("X", "v", 0, 100)]
+        assert in_range == [2, 10]
+
+    def test_invalidated_by_node_mutations(self, indexed_store):
+        assert 4242 not in _asns(indexed_store.nodes_in_range("AS", "asn", 4000, 5000))
+        created = indexed_store.create_node(["AS"], {"asn": 4242, "name": "NEW"})
+        assert _asns(indexed_store.nodes_in_range("AS", "asn", 4000, 5000)) == [4242]
+        indexed_store.set_node_property(created.node_id, "asn", 4500)
+        assert _asns(indexed_store.nodes_in_range("AS", "asn", 4000, 5000)) == [4500]
+        indexed_store.delete_node(created.node_id)
+        assert _asns(indexed_store.nodes_in_range("AS", "asn", 4000, 5000)) == []
+
+    def test_relationship_churn_does_not_invalidate(self, indexed_store):
+        list(indexed_store.nodes_in_range("AS", "asn", 0, 99999))  # force build
+        built = indexed_store._sorted_index[("AS", "asn")]
+        assert built is not None
+        nodes = list(indexed_store.nodes_by_label("AS"))
+        rel = indexed_store.create_relationship(
+            nodes[0].node_id, "PEERS_WITH", nodes[1].node_id
+        )
+        indexed_store.delete_relationship(rel.rel_id)
+        assert indexed_store._sorted_index[("AS", "asn")] is built
+
+    def test_lazy_build_does_not_bump_stats_version(self, indexed_store):
+        before = indexed_store.statistics().version
+        list(indexed_store.nodes_in_range("AS", "asn", 0, 99999))
+        assert indexed_store.statistics().version == before
+
+    def test_statistics_expose_sorted_indexes(self, indexed_store):
+        stats = indexed_store.statistics()
+        assert stats.has_sorted_index("AS", "asn")
+        assert stats.has_sorted_index("AS", "name")
+        assert not stats.has_sorted_index("AS", "country")
+
+
+class TestRangePlanner:
+    def test_explain_range_lookup(self, small_engine):
+        plan = small_engine.explain(
+            "MATCH (a:AS) WHERE a.asn > 1000 AND a.asn <= 200000 RETURN a.asn"
+        )
+        assert "RangeLookup(:AS.asn" in plan
+        assert "[sorted-index]" in plan
+        assert "Pushdown a.asn >" in plan
+
+    def test_explain_prefix_lookup(self, small_engine):
+        plan = small_engine.explain(
+            "MATCH (a:AS) WHERE a.name STARTS WITH 'AS-' RETURN a.name"
+        )
+        assert "PrefixLookup(:AS.name STARTS WITH" in plan
+
+    def test_equality_still_beats_range(self, small_engine):
+        plan = small_engine.explain(
+            "MATCH (a:AS) WHERE a.asn = 2497 AND a.asn > 0 RETURN a.name"
+        )
+        assert "PropertyLookup(:AS.asn) [index]" in plan
+
+    def test_no_sorted_index_falls_back_to_label_scan(self, small_engine):
+        plan = small_engine.explain(
+            "MATCH (c:Country) WHERE c.country_code >= 'A' RETURN c"
+        )
+        assert "LabelScan(:Country)" in plan
+        assert "RangeLookup" not in plan
+
+
+#: Queries whose rows must be identical with the planner on and off.
+EQUIVALENCE_QUERIES = [
+    "MATCH (a:AS) WHERE a.asn > 1000 AND a.asn <= 200000 RETURN a.asn ORDER BY a.asn",
+    "MATCH (a:AS) WHERE a.asn >= 2497 AND a.asn < 2498 RETURN a.name",
+    "MATCH (a:AS) WHERE 5000 > a.asn RETURN a.asn ORDER BY a.asn",
+    "MATCH (a:AS) WHERE a.name STARTS WITH 'A' RETURN a.name ORDER BY a.name",
+    "MATCH (a:AS) RETURN a.asn AS asn ORDER BY a.asn LIMIT 7",
+    "MATCH (a:AS) RETURN a.asn AS asn ORDER BY a.asn DESC LIMIT 7",
+    "MATCH (a:AS) RETURN a.asn AS asn ORDER BY a.asn SKIP 3 LIMIT 4",
+    "MATCH (a:AS) WHERE a.asn > 2000 RETURN a.asn ORDER BY a.asn LIMIT 5",
+    (
+        "MATCH (a:AS)-[:COUNTRY]->(c:Country) WHERE a.asn >= 1000 "
+        "RETURN c.country_code AS cc, count(a) AS n ORDER BY n DESC, cc LIMIT 5"
+    ),
+]
+
+
+class TestIndexScanEquivalence:
+    @pytest.fixture()
+    def stores(self):
+        from repro.iyp import IYPConfig, generate_iyp
+
+        store = generate_iyp(IYPConfig.small(seed=7)).store
+        return store, CypherEngine(store), CypherEngine(store, planner=False)
+
+    @pytest.mark.parametrize("query", EQUIVALENCE_QUERIES)
+    def test_planner_on_off_identical(self, stores, query):
+        _, planned, unplanned = stores
+        rows = list(planned.run(query))
+        assert rows == list(unplanned.run(query))
+        assert rows  # every equivalence query must actually produce rows
+
+    def test_equivalence_survives_mutation(self, stores):
+        store, planned, unplanned = stores
+        query = EQUIVALENCE_QUERIES[0]
+        before = list(planned.run(query))
+        victim = next(iter(store.nodes_in_range("AS", "asn", 1001, 200000)))
+        created = store.create_node(["AS"], {"asn": 1500, "name": "FRESH"})
+        store.set_node_property(victim.node_id, "asn", 123456)
+        after_planned = list(planned.run(query))
+        after_unplanned = list(unplanned.run(query))
+        assert after_planned == after_unplanned
+        assert after_planned != before  # the index really was refreshed
+        store.delete_node(created.node_id, detach=True)
+        assert list(planned.run(query)) == list(unplanned.run(query))
+
+
+class TestTopKSelection:
+    @pytest.fixture()
+    def tie_engines(self):
+        """Store with deliberate ORDER BY ties and a null sort key."""
+        store = GraphStore()
+        for rank, name in [
+            (3, "c1"), (1, "a1"), (3, "c2"), (2, "b1"), (1, "a2"),
+            (2, "b2"), (3, "c3"), (1, "a3"),
+        ]:
+            store.create_node(["Item"], {"rank": rank, "name": name})
+        store.create_node(["Item"], {"name": "norank"})
+        store.create_sorted_index("Item", "rank")
+        return CypherEngine(store), CypherEngine(store, planner=False)
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "MATCH (i:Item) RETURN i.name AS name ORDER BY i.rank LIMIT 4",
+            "MATCH (i:Item) RETURN i.name AS name ORDER BY i.rank DESC LIMIT 4",
+            "MATCH (i:Item) RETURN i.name AS name ORDER BY i.rank SKIP 2 LIMIT 3",
+            "MATCH (i:Item) RETURN i.name AS name ORDER BY i.rank LIMIT 0",
+            "MATCH (i:Item) RETURN i.name AS name ORDER BY i.rank LIMIT 50",
+            "MATCH (i:Item) RETURN i.name AS name ORDER BY i.rank, i.name DESC LIMIT 4",
+            "MATCH (i:Item) WHERE i.rank >= 2 RETURN i.name AS name "
+            "ORDER BY i.rank LIMIT 3",
+        ],
+    )
+    def test_heap_and_fused_paths_match_full_sort(self, tie_engines, query):
+        planned, unplanned = tie_engines
+        assert list(planned.run(query)) == list(unplanned.run(query))
+
+    def test_stable_tie_break_preserved(self, tie_engines):
+        planned, _ = tie_engines
+        names = [
+            record["name"]
+            for record in planned.run(
+                "MATCH (i:Item) RETURN i.name AS name ORDER BY i.rank LIMIT 5"
+            )
+        ]
+        # Within a rank tie the original insertion order must survive.
+        assert names == ["a1", "a2", "a3", "b1", "b2"]
+
+    def test_desc_places_null_rank_first(self, tie_engines):
+        planned, unplanned = tie_engines
+        query = "MATCH (i:Item) RETURN i.name AS name ORDER BY i.rank DESC LIMIT 1"
+        assert [r["name"] for r in planned.run(query)] == ["norank"]
+        assert list(planned.run(query)) == list(unplanned.run(query))
+
+
+def _reference_search(store, query, top_k, filter_fn=None, min_score=0.0):
+    """The pre-argpartition full-stable-sort search, kept as an oracle."""
+    matrix, entries = store._snapshot()
+    if top_k <= 0 or matrix.shape[0] == 0:
+        return []
+    scores = matrix @ store.embedding.embed(query)
+    hits = []
+    for index in np.argsort(-scores, kind="stable"):
+        entry = entries[int(index)]
+        score = float(scores[int(index)])
+        if score <= min_score:
+            break
+        if filter_fn is not None and not filter_fn(entry):
+            continue
+        hits.append(SearchHit(entry.entry_id, entry.text, score, dict(entry.metadata)))
+        if len(hits) >= top_k:
+            break
+    return hits
+
+
+class TestVectorTopK:
+    WORDS = ["asn", "prefix", "domain", "route", "peer", "ixp", "rank", "origin"]
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        import random
+
+        rng = random.Random(11)
+        texts = [
+            " ".join(rng.choices(self.WORDS, k=rng.randint(1, 4))) for _ in range(200)
+        ]
+        store = VectorStore(HashingEmbedding(dim=64))
+        store.add_batch(
+            [(f"e{i}", text, {"even": i % 2 == 0}) for i, text in enumerate(texts)]
+        )
+        return store, texts
+
+    @pytest.mark.parametrize("top_k", [1, 3, 10, 150, 500])
+    @pytest.mark.parametrize("min_score", [0.0, 0.45, 0.95])
+    def test_argpartition_matches_full_sort(self, corpus, top_k, min_score):
+        store, _ = corpus
+        for query in ("asn prefix", "route peer ixp", "completely unrelated zzz"):
+            fast = store.search(query, top_k=top_k, min_score=min_score)
+            assert fast == _reference_search(store, query, top_k, min_score=min_score)
+
+    def test_filter_fn_escalation_matches_full_sort(self, corpus):
+        store, _ = corpus
+        # The duplicate-heavy corpus guarantees score ties, and the parity
+        # filter rejects ~half the candidates, forcing partition escalation.
+        keep_odd = lambda entry: not entry.metadata["even"]  # noqa: E731
+        for top_k in (1, 5, 40, 120):
+            fast = store.search("asn prefix rank", top_k=top_k, filter_fn=keep_odd)
+            ref = _reference_search(store, "asn prefix rank", top_k, filter_fn=keep_odd)
+            assert fast == ref
+            assert all(not hit.metadata["even"] for hit in fast)
+
+    def test_get_is_dict_backed_and_correct(self, corpus):
+        store, texts = corpus
+        assert store.get("e7").text == texts[7]
+        assert store.get("missing") is None
+        assert "e7" in store._by_id  # the O(1) path, not a scan
+
+    def test_token_prefilter_exact_scores(self, corpus):
+        _, texts = corpus
+        filtered = VectorStore(HashingEmbedding(dim=64), token_prefilter=True)
+        full = VectorStore(HashingEmbedding(dim=64))
+        for i, text in enumerate(texts):
+            filtered.add(f"e{i}", text, {})
+            full.add(f"e{i}", text, {})
+        full_hits = {h.entry_id: h.score for h in full.search("asn prefix", top_k=500)}
+        hits = filtered.search("asn prefix", top_k=500)
+        assert hits  # token overlap exists in this corpus
+        for hit in hits:
+            assert hit.score == pytest.approx(full_hits[hit.entry_id], abs=1e-12)
+        assert set(h.entry_id for h in hits) <= set(full_hits)
+
+    def test_token_prefilter_falls_back_on_no_overlap(self, corpus):
+        _, texts = corpus
+        filtered = VectorStore(HashingEmbedding(dim=64), token_prefilter=True)
+        for i, text in enumerate(texts):
+            filtered.add(f"e{i}", text, {})
+        with_overlap = filtered.search("qqq zzz www", top_k=3)
+        plain = VectorStore(HashingEmbedding(dim=64))
+        for i, text in enumerate(texts):
+            plain.add(f"e{i}", text, {})
+        assert with_overlap == plain.search("qqq zzz www", top_k=3)
