@@ -56,6 +56,11 @@ ENGINE_QUERIES = {
     ),
 }
 
+#: Memory benchmark query: with streaming execution the peak per-operator
+#: row count stays bounded by LIMIT, where the seed executor's
+#: clause-boundary lists materialized the whole label scan.
+MEMORY_SCAN_QUERY = "MATCH (n:AS) RETURN n LIMIT 5"
+
 #: Median latencies (ms) measured on the pre-planner seed revision with the
 #: same interleaved batched-median protocol as --quick mode uses.  Recorded
 #: here so BENCH_engine.json can report speedups without rebuilding the seed.
@@ -163,6 +168,25 @@ def _median_latency_ms(engine: CypherEngine, query: str, batches: int, runs: int
     return statistics.median(samples)
 
 
+def _memory_scan(store) -> dict:
+    """Peak intermediate-row count for the memory benchmark query.
+
+    Runs the query profiled and takes the largest per-operator row count in
+    the executed tree; ``seed_peak_rows`` is the full label cardinality the
+    pre-streaming executor materialized for the same query.
+    """
+    from repro.cypher.operators import max_operator_rows
+
+    engine = CypherEngine(store)
+    result = engine.execute(MEMORY_SCAN_QUERY, profile=True)
+    return {
+        "query": MEMORY_SCAN_QUERY,
+        "limit": 5,
+        "peak_operator_rows": max_operator_rows(result.profile),
+        "seed_peak_rows": sum(1 for _ in store.nodes_by_label("AS")),
+    }
+
+
 def run_quick(output: Path | None, batches: int = 10, runs: int = 20) -> dict:
     """Time every engine query planner-on and planner-off; write ``output``."""
     from repro.iyp.loader import load_dataset
@@ -190,11 +214,19 @@ def run_quick(output: Path | None, batches: int = 10, runs: int = 20) -> dict:
             file=sys.stderr,
         )
 
+    memory_scan = _memory_scan(store)
+    print(
+        f"{'memory_scan':22s} peak={memory_scan['peak_operator_rows']} rows  "
+        f"seed={memory_scan['seed_peak_rows']} rows",
+        file=sys.stderr,
+    )
+
     payload = {
         "benchmark": "engine_perf_quick",
         "dataset": "medium",
         "protocol": f"median of {batches} batches x {runs} runs, warm caches",
         "queries": results,
+        "memory_scan": memory_scan,
     }
     if output is not None:
         if output.exists():
@@ -269,6 +301,19 @@ def check_regressions(
             failures.append(
                 f"{name}: planner makes this query {1.0 / current_ratio:.2f}x "
                 f"slower than planner-off (> {_NO_HARM_SLACK:.0%} slack)"
+            )
+    committed_memory = baseline.get("memory_scan")
+    current_memory = payload.get("memory_scan")
+    if committed_memory and current_memory:
+        # Deterministic (row counts, not timings): any growth over the
+        # committed peak means streaming execution stopped bounding the
+        # scan — e.g. a lowering change re-materializing before LIMIT.
+        bound = committed_memory.get("peak_operator_rows")
+        peak = current_memory.get("peak_operator_rows")
+        if bound is not None and peak is not None and peak > bound:
+            failures.append(
+                f"memory_scan: peak intermediate rows {peak} > committed "
+                f"bound {bound} for {committed_memory.get('query')!r}"
             )
     return failures
 

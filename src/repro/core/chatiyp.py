@@ -59,6 +59,19 @@ class ChatResponse:
             rows = [
                 {key: render_value(value) for key, value in row.items()} for row in rows
             ]
+        diagnostics = {
+            "route": self.diagnostics.get("route"),
+            "symbolic_error": self.diagnostics.get("symbolic_error"),
+            "error_class": self.diagnostics.get("error_class"),
+            "stage_timings": self.diagnostics.get("stage_timings", {}),
+            "degraded": list(self.diagnostics.get("degraded", ())),
+            "cache_hit": bool(self.diagnostics.get("cache_hit", False)),
+            "coalesced": bool(self.diagnostics.get("coalesced", False)),
+        }
+        # Executed operator tree (already JSON-safe), present only when
+        # profiling is on — absent keys keep the payload stable otherwise.
+        if "cypher_profile" in self.diagnostics:
+            diagnostics["cypher_profile"] = self.diagnostics["cypher_profile"]
         return {
             "question": self.question,
             "answer": self.answer,
@@ -69,15 +82,7 @@ class ChatResponse:
             "rows": rows,
             # JSON-safe provenance subset: routing decision, error taxonomy
             # and per-stage wall-clock timings from the pipeline kernel.
-            "diagnostics": {
-                "route": self.diagnostics.get("route"),
-                "symbolic_error": self.diagnostics.get("symbolic_error"),
-                "error_class": self.diagnostics.get("error_class"),
-                "stage_timings": self.diagnostics.get("stage_timings", {}),
-                "degraded": list(self.diagnostics.get("degraded", ())),
-                "cache_hit": bool(self.diagnostics.get("cache_hit", False)),
-                "coalesced": bool(self.diagnostics.get("coalesced", False)),
-            },
+            "diagnostics": diagnostics,
         }
 
 
@@ -118,6 +123,8 @@ class ChatIYP:
             llm=self.llm,
             schema_text=self.schema_text,
             prompt_builder=text2cypher_prompt,
+            capture_profile=self.config.capture_cypher_profile,
+            row_budget=self.config.cypher_row_budget,
         )
         vector = None
         # Non-default routing policies consult the vector retriever even

@@ -61,6 +61,15 @@ class ChatIYPConfig:
     # LLM-facing stages. Total tries per stage call; 1 = no retry.
     llm_retry_attempts: int = 2
     llm_retry_backoff_ms: float = 25.0
+    # Intermediate-row budget for every generated Cypher execution (None =
+    # unbounded). A query that blows through the budget is cancelled with
+    # a ResourceExhausted error and routes to the vector fallback like any
+    # other execution failure — a guard against runaway generated scans.
+    cypher_row_budget: int | None = None
+    # Run every generated query profiled and surface the executed operator
+    # tree (rows + wall-time per operator) under
+    # diagnostics["cypher_profile"]. Cheap but chatty; off by default.
+    capture_cypher_profile: bool = False
     # Single-flight coalescing of concurrent duplicate questions: when N
     # identical questions are in flight at once, one executes the pipeline
     # and the rest wait on its result (the concurrent counterpart of the

@@ -9,13 +9,16 @@ Public surface::
 """
 
 from .errors import (
+    CypherDeadlineExceeded,
     CypherError,
     CypherRuntimeError,
     CypherSyntaxError,
     CypherTypeError,
+    ResourceExhausted,
     UnknownFunctionError,
 )
 from .executor import CypherEngine, execute
+from .operators import PhysicalOperator, profile_tree, render_profile
 from .parser import parse, parse_expression
 from .planner import (
     AnchorPlan,
@@ -50,4 +53,9 @@ __all__ = [
     "CypherTypeError",
     "CypherRuntimeError",
     "UnknownFunctionError",
+    "ResourceExhausted",
+    "CypherDeadlineExceeded",
+    "PhysicalOperator",
+    "profile_tree",
+    "render_profile",
 ]

@@ -15,6 +15,8 @@ __all__ = [
     "CypherTypeError",
     "CypherRuntimeError",
     "UnknownFunctionError",
+    "ResourceExhausted",
+    "CypherDeadlineExceeded",
 ]
 
 
@@ -53,3 +55,20 @@ class UnknownFunctionError(CypherRuntimeError):
     def __init__(self, name: str):
         super().__init__(f"unknown function: {name}()")
         self.name = name
+
+
+class ResourceExhausted(CypherRuntimeError):
+    """Execution exceeded its configured intermediate-row budget.
+
+    The serving layer maps this to graceful degradation (vector fallback)
+    rather than letting one runaway scan hold memory for the whole
+    process.
+    """
+
+
+class CypherDeadlineExceeded(CypherRuntimeError):
+    """The per-request serving deadline expired mid-execution.
+
+    Raised cooperatively between operator ``next()`` calls so long scans
+    abort close to the deadline instead of overrunning it.
+    """

@@ -1,28 +1,37 @@
 """Query executor: evaluates a parsed Cypher AST against a GraphStore.
 
-Execution is a pipeline of clause operators over *rows* (variable-binding
-dicts), in textual clause order.  MATCH clauses are planned by
-:mod:`repro.cypher.planner` against live graph statistics: the planner
+The engine lowers each query into a tree of pull-based physical operators
+(:mod:`repro.cypher.operators`): MATCH clauses are planned by
+:mod:`repro.cypher.planner` against live graph statistics — the planner
 picks the cheapest anchor access path per pattern part, decides traversal
 direction, and pushes WHERE equality/IN predicates down into indexed
-lookups and bind-time filters.  Plans (and parsed ASTs) are cached in a
-bounded LRU keyed by query text; ``planner=False`` is the escape hatch
-that falls back to the naive shape-only heuristics.
+lookups and bind-time filters — and each planned part becomes an explicit
+``AnchorScan → Expand* → Match`` operator chain.  The tree executes
+Volcano-style (``open()/next()/close()``), so a downstream LIMIT/top-k
+stops pulling and the whole upstream pipeline terminates early; only
+blocking operators (Sort, Aggregate, ``RETURN *``, write barriers)
+materialise rows.  Plans (and parsed ASTs) are cached in a bounded LRU
+keyed by query text; ``planner=False`` is the escape hatch that falls
+back to the naive shape-only heuristics (via a row-at-a-time ``Match``
+fallback operator, so results stay bit-identical to planned execution).
 
-Entry point: :class:`CypherEngine` (``engine.run(query, **params)``).
+Entry points: :class:`CypherEngine` — ``engine.run(query, **params)``
+for the classic API, ``engine.execute(query, params, deadline=...,
+row_budget=..., profile=...)`` for deadline-aware, budgeted, profiled
+execution, and ``engine.profile(query, **params)`` for the per-operator
+``PROFILE`` tree (rows produced + wall-time per operator).
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from operator import itemgetter
 from typing import Any, Iterable, Iterator, Optional, Union
 
 from ..graph.model import Node, Path, Relationship
 from ..graph.store import GraphStore
 from . import ast_nodes as ast
+from . import operators as ops
 from .errors import CypherRuntimeError, CypherSyntaxError, CypherTypeError
 from .functions import (
     call_aggregate,
@@ -30,6 +39,15 @@ from .functions import (
     is_aggregate_function,
     percentile,
     regex_match,
+)
+from .operators import (
+    RuntimeState,
+    _contains_aggregate,
+    _Descending,
+    _freeze,
+    _same_rel_binding,
+    profile_tree,
+    render_profile,
 )
 from .parser import parse
 from .planner import AnchorPlan, MatchPlan, PartPlan, PushedFilter, plan_query
@@ -100,10 +118,13 @@ class CypherEngine:
         max_var_length: int = 32,
         planner: bool = True,
         cache_size: int = 1024,
+        row_budget: Optional[int] = None,
     ) -> None:
         self.store = store
         self.max_var_length = max_var_length
         self.planner = planner
+        #: default intermediate-row budget for every execution (None = off)
+        self.row_budget = row_budget
         self._ast_cache: _LRUCache = _LRUCache(cache_size)
         self._plan_cache: _LRUCache = _LRUCache(cache_size)
         # id(clause) -> (clause, items, keys, aggregated, grouping_indices);
@@ -112,17 +133,51 @@ class CypherEngine:
 
     def run(self, query: str, **params: Any) -> ResultSet:
         """Parse and plan (both cached) then execute ``query``."""
+        return self.execute(query, params)
+
+    def execute(
+        self,
+        query: str,
+        params: dict[str, Any] | None = None,
+        *,
+        deadline: Any = None,
+        row_budget: Optional[int] = None,
+        profile: bool = False,
+    ) -> ResultSet:
+        """Execute ``query`` with the full runtime surface.
+
+        ``deadline`` is an expiring-clock object with an ``expired``
+        property (the serving layer's ``Deadline``), checked cooperatively
+        between operator ``next()`` calls; an overrun raises
+        :class:`~repro.cypher.errors.CypherDeadlineExceeded`.
+        ``row_budget`` bounds total intermediate rows across all operators
+        (falling back to the engine default), raising
+        :class:`~repro.cypher.errors.ResourceExhausted` beyond it.  With
+        ``profile=True`` the result carries the executed operator tree
+        (rows + wall-time per operator) on ``result.profile``.
+        """
         tree = self._ast_cache.get(query)
         if tree is None:
             tree = parse(query)
             self._ast_cache[query] = tree
         plans = self._plans_for(query, tree)
-        return self._execute(tree, params, plans)
+        result, root = self._execute(
+            tree,
+            params or {},
+            plans,
+            deadline=deadline,
+            row_budget=row_budget if row_budget is not None else self.row_budget,
+            profiled=profile,
+        )
+        if profile:
+            result.profile = profile_tree(root)
+        return result
 
     def run_ast(self, tree: ast.Query, params: dict[str, Any] | None = None) -> ResultSet:
         """Execute an already-parsed query (plans computed, not cached)."""
         plans = plan_query(tree, self.store.statistics()) if self.planner else None
-        return self._execute(tree, params or {}, plans)
+        result, _ = self._execute(tree, params or {}, plans)
+        return result
 
     def _plans_for(self, query: str, tree: ast.Query) -> Optional[dict[int, MatchPlan]]:
         """Cached match plans for ``query``, replanned when the graph changed."""
@@ -144,79 +199,50 @@ class CypherEngine:
         tree: ast.Query,
         params: dict[str, Any],
         plans: Optional[dict[int, MatchPlan]],
-    ) -> ResultSet:
+        *,
+        deadline: Any = None,
+        row_budget: Optional[int] = None,
+        profiled: bool = False,
+    ) -> tuple[ResultSet, ops.PhysicalOperator]:
+        """Lower ``tree`` into a physical operator tree and drain it.
+
+        Returns the result plus the executed tree root (its counters feed
+        ``PROFILE`` rendering and the ``cypher_profile`` diagnostics).
+        """
         context = _ExecutionContext(
             self.store, params, self.max_var_length, plans, self._projection_meta
         )
-        if isinstance(tree, ast.UnionQuery):
-            return self._run_union(tree, context)
-        return self._run_single(tree, context)
+        state = RuntimeState(deadline=deadline, budget=row_budget, profiled=profiled)
+        state.check_deadline()
+        root = self._lower_query(tree, context, state)
+        root.open()
+        try:
+            rows: list[list[Any]] = []
+            while (values := root.next()) is not None:
+                rows.append(values)
+            keys = root.keys or []
+        finally:
+            root.close()
+        records = [Record(keys, values) for values in rows]
+        return ResultSet(keys, records, **context.counters()), root
 
     def profile(self, query: str, **params: Any) -> tuple[ResultSet, str]:
-        """Execute ``query`` and report rows flowing out of every clause.
+        """Execute ``query`` and report the physical operator tree.
 
-        A poor man's ``PROFILE``: returns the normal result plus a text
-        report with the intermediate row count after each clause — for
-        planned MATCH clauses including the estimated row count, so
-        cardinality misestimates are visible at a glance.
+        Returns the normal result plus a text rendering of the executed
+        tree: one line per operator with its planner cardinality estimate
+        (when planned), the rows it actually produced, and its inclusive
+        wall-clock time — so both cardinality misestimates and hot
+        operators are visible at a glance.
         """
-        tree = parse(query)
-        plans = plan_query(tree, self.store.statistics()) if self.planner else None
-        context = _ExecutionContext(self.store, params or {}, self.max_var_length, plans)
-        lines: list[str] = []
-        queries = tree.queries if isinstance(tree, ast.UnionQuery) else (tree,)
-        all_results: list[ResultSet] = []
-        for qindex, single in enumerate(queries):
-            if len(queries) > 1:
-                lines.append(f"UNION branch {qindex + 1}:")
-            rows: list[Row] = [{}]
-            final: Optional[ResultSet] = None
-            for clause in single.clauses:
-                label = self._explain_clause(clause, plans)[0]
-                estimate = ""
-                if plans is not None and isinstance(clause, ast.MatchClause):
-                    plan = plans.get(id(clause))
-                    if plan is not None:
-                        estimate = f" (est≈{plan.est_rows:.0f})"
-                if isinstance(clause, ast.MatchClause):
-                    rows = context.apply_match(rows, clause)
-                elif isinstance(clause, ast.UnwindClause):
-                    rows = context.apply_unwind(rows, clause)
-                elif isinstance(clause, ast.WithClause):
-                    rows = context.apply_with(rows, clause)
-                elif isinstance(clause, ast.ReturnClause):
-                    final = context.apply_return(rows, clause)
-                    rows = [dict(zip(final.keys, r.values())) for r in final.records]
-                elif isinstance(clause, ast.CreateClause):
-                    rows = context.apply_create(rows, clause)
-                elif isinstance(clause, ast.MergeClause):
-                    rows = context.apply_merge(rows, clause)
-                elif isinstance(clause, ast.SetClause):
-                    rows = context.apply_set(rows, clause)
-                elif isinstance(clause, ast.DeleteClause):
-                    rows = context.apply_delete(rows, clause)
-                elif isinstance(clause, ast.RemoveClause):
-                    rows = context.apply_remove(rows, clause)
-                lines.append(f"  {label:60s} -> {len(rows)} rows{estimate}")
-            all_results.append(final if final is not None else ResultSet([], []))
-        if len(all_results) == 1:
-            result = all_results[0]
-        else:
-            keys = all_results[0].keys
-            records: list[Record] = []
-            seen: set[Any] = set()
-            union_all = isinstance(tree, ast.UnionQuery) and tree.union_all
-            for sub in all_results:
-                for record in sub.records:
-                    if not union_all:
-                        frozen = _freeze(record.values())
-                        if frozen in seen:
-                            continue
-                        seen.add(frozen)
-                    records.append(record)
-            result = ResultSet(keys, records)
-        result = ResultSet(result.keys, result.records, **context.counters())
-        return result, "\n".join(lines)
+        tree = self._ast_cache.get(query)
+        if tree is None:
+            tree = parse(query)
+            self._ast_cache[query] = tree
+        plans = self._plans_for(query, tree)
+        result, root = self._execute(tree, params or {}, plans, profiled=True)
+        result.profile = profile_tree(root)
+        return result, render_profile(root)
 
     def explain(self, query: str) -> str:
         """Describe how ``query`` would execute (clause pipeline + plans).
@@ -319,83 +345,240 @@ class CypherEngine:
 
     # ------------------------------------------------------------------
 
-    def _run_union(self, tree: ast.UnionQuery, context: "_ExecutionContext") -> ResultSet:
-        results = [self._run_single(query, context) for query in tree.queries]
-        keys = results[0].keys
-        for result in results[1:]:
-            if result.keys != keys:
-                raise CypherSyntaxError(
-                    "all UNION sub-queries must return the same column names"
-                )
-        records: list[Record] = []
-        seen: set[Any] = set()
-        for result in results:
-            for record in result.records:
-                if not tree.union_all:
-                    frozen = _freeze(record.values())
-                    if frozen in seen:
-                        continue
-                    seen.add(frozen)
-                records.append(record)
-        return ResultSet(keys, records, **context.counters())
+    # -- Lowering: AST + plans -> physical operator tree -----------------
 
-    def _run_single(self, tree: ast.SingleQuery, context: "_ExecutionContext") -> ResultSet:
-        final = self._try_index_ordered(tree, context)
-        if final is not None:
-            final.nodes_created = context.nodes_created
-            final.relationships_created = context.relationships_created
-            final.properties_set = context.properties_set
-            final.nodes_deleted = context.nodes_deleted
-            final.relationships_deleted = context.relationships_deleted
-            return final
-        rows: list[Row] = [{}]
-        final = None
+    def _lower_query(
+        self, tree: ast.Query, context: "_ExecutionContext", state: RuntimeState
+    ) -> ops.PhysicalOperator:
+        if isinstance(tree, ast.UnionQuery):
+            branches = [
+                self._lower_single(query, context, state) for query in tree.queries
+            ]
+            return ops.UnionAppend(state, branches, tree.union_all)
+        return self._lower_single(tree, context, state)
+
+    def _lower_single(
+        self, tree: ast.SingleQuery, context: "_ExecutionContext", state: RuntimeState
+    ) -> ops.ProduceResults:
+        fused = self._lower_index_ordered(tree, context, state)
+        if fused is not None:
+            return fused
+        op: ops.PhysicalOperator = ops.Init(state)
         clauses = tree.clauses
         for index, clause in enumerate(clauses):
             if isinstance(clause, ast.MatchClause):
-                rows = context.apply_match(rows, clause)
+                op = self._lower_match(op, clause, context, state)
             elif isinstance(clause, ast.UnwindClause):
-                rows = context.apply_unwind(rows, clause)
+                op = ops.Unwind(state, op, context, clause)
             elif isinstance(clause, ast.WithClause):
-                rows = context.apply_with(rows, clause)
+                op, projection = self._lower_projection(op, clause, context, state)
+                op = ops.AsRows(state, op, projection)
+                if clause.where is not None:
+                    op = ops.Filter(state, op, context, clause.where, pairs_in=False)
             elif isinstance(clause, ast.ReturnClause):
                 if index != len(clauses) - 1:
                     raise CypherSyntaxError("RETURN must be the final clause")
-                final = context.apply_return(rows, clause)
+                op, projection = self._lower_projection(op, clause, context, state)
+                return ops.ProduceResults(state, op, projection)
             elif isinstance(clause, ast.CreateClause):
-                rows = context.apply_create(rows, clause)
+                op = ops.Create(state, op, context, clause)
             elif isinstance(clause, ast.MergeClause):
-                rows = context.apply_merge(rows, clause)
+                op = ops.Merge(state, op, context, clause)
             elif isinstance(clause, ast.SetClause):
-                rows = context.apply_set(rows, clause)
+                op = ops.SetProperties(state, op, context, clause)
             elif isinstance(clause, ast.DeleteClause):
-                rows = context.apply_delete(rows, clause)
+                op = ops.Delete(state, op, context, clause)
             elif isinstance(clause, ast.RemoveClause):
-                rows = context.apply_remove(rows, clause)
+                op = ops.Remove(state, op, context, clause)
             else:  # pragma: no cover - parser cannot produce others
                 raise CypherRuntimeError(f"unsupported clause {clause!r}")
-        if final is None:
-            final = ResultSet([], [])
-        final.nodes_created = context.nodes_created
-        final.relationships_created = context.relationships_created
-        final.properties_set = context.properties_set
-        final.nodes_deleted = context.nodes_deleted
-        final.relationships_deleted = context.relationships_deleted
-        return final
+        return ops.ProduceResults(state, op, None)
 
-    def _try_index_ordered(
-        self, tree: ast.SingleQuery, context: "_ExecutionContext"
-    ) -> Optional[ResultSet]:
-        """Index-ordered top-k scan for ``MATCH (n:L) ... RETURN ... ORDER BY n.key LIMIT k``.
+    def _lower_match(
+        self,
+        child: ops.PhysicalOperator,
+        clause: ast.MatchClause,
+        context: "_ExecutionContext",
+        state: RuntimeState,
+    ) -> ops.PhysicalOperator:
+        plan = context.plans.get(id(clause)) if context.plans is not None else None
+        if not clause.optional:
+            op = self._lower_parts(child, clause.pattern, plan, context, state)
+            if clause.where is not None:
+                op = ops.Filter(state, op, context, clause.where, pairs_in=False)
+            return op
+        # OPTIONAL MATCH: the pattern (and its WHERE) runs as a sub-pipeline
+        # re-opened once per upstream row, padding with nulls on no match.
+        source = ops.RowSource(state)
+        sub = self._lower_parts(source, clause.pattern, plan, context, state)
+        if clause.where is not None:
+            sub = ops.Filter(state, sub, context, clause.where, pairs_in=False)
+        return ops.OptionalMatch(
+            state, child, sub, source, _pattern_variables(clause.pattern)
+        )
+
+    def _lower_parts(
+        self,
+        child: ops.PhysicalOperator,
+        pattern: ast.Pattern,
+        plan: Optional[MatchPlan],
+        context: "_ExecutionContext",
+        state: RuntimeState,
+    ) -> ops.PhysicalOperator:
+        """Chain the pattern's parts: each consumes the previous part's
+        ``(row, used)`` pairs (cartesian product with relationship
+        uniqueness threaded through); the last part emits plain rows."""
+        parts = pattern.parts
+        multi = len(parts) > 1
+        op = child
+        for index, part in enumerate(parts):
+            from_rows = index == 0
+            emit_row = index == len(parts) - 1
+            part_plan = plan.parts[index] if plan is not None else None
+            filters = plan.filters if plan is not None else None
+            if part.shortest is not None:
+                kind = "shortestPath" if part.shortest == "single" else "allShortestPaths"
+                op = ops.ShortestPath(
+                    state, op, context, part, filters,
+                    from_rows=from_rows, emit_row=emit_row, detail=kind,
+                )
+            elif part_plan is None:
+                # Unplanned: traversal direction is a per-row decision, so
+                # defer to the heuristic row-at-a-time matcher.
+                op = ops.PartMatch(
+                    state, op, context, part,
+                    from_rows=from_rows, update_used=multi, emit_row=emit_row,
+                    detail=f"{len(part.nodes)} nodes, {part.hop_count} hops",
+                )
+            else:
+                op = self._lower_planned_part(
+                    op, part, part_plan, filters, context, state,
+                    from_rows=from_rows, emit_row=emit_row, update_used=multi,
+                )
+        return op
+
+    def _lower_planned_part(
+        self,
+        child: ops.PhysicalOperator,
+        part: ast.PatternPart,
+        part_plan: PartPlan,
+        filters: Optional[Filters],
+        context: "_ExecutionContext",
+        state: RuntimeState,
+        *,
+        from_rows: bool,
+        emit_row: bool,
+        update_used: bool,
+    ) -> ops.PhysicalOperator:
+        """One planned pattern part as an ``AnchorScan → Expand* → Match`` chain."""
+        elements = list(part.elements)
+        if part_plan.reverse:
+            elements = _reverse_elements(elements)
+        first = elements[0]
+        assert isinstance(first, ast.NodePattern)
+        anchor = part_plan.anchor
+        track_path = part.path_variable is not None
+        maintain_used = update_used or part_plan.needs_used
+        name, detail = anchor.physical_operator()
+        op: ops.PhysicalOperator = ops.AnchorScan(
+            state, child, context, first, anchor, filters,
+            track_path, from_rows, name, detail,
+        )
+        op.estimate = anchor.est_rows
+        for index in range(1, len(elements), 2):
+            rel_pattern = elements[index]
+            node_pattern = elements[index + 1]
+            assert isinstance(rel_pattern, ast.RelPattern)
+            assert isinstance(node_pattern, ast.NodePattern)
+            expand_cls = ops.VarLengthExpand if rel_pattern.var_length else ops.Expand
+            types = "|".join(rel_pattern.types) if rel_pattern.types else ""
+            arrow = {"out": "->", "in": "<-", "both": "--"}[rel_pattern.direction]
+            op = expand_cls(
+                state, op, context, rel_pattern, node_pattern, filters,
+                maintain_used, detail=f"[:{types}]{arrow}" if types else arrow,
+            )
+        emit = ops.PartEmit(
+            state, op, part, part_plan.reverse, emit_row,
+            detail=f"{len(part.nodes)} nodes, {part.hop_count} hops",
+        )
+        emit.estimate = part_plan.est_rows
+        return emit
+
+    def _lower_projection(
+        self,
+        child: ops.PhysicalOperator,
+        clause: ast.ProjectionClause,
+        context: "_ExecutionContext",
+        state: RuntimeState,
+    ) -> tuple[ops.PhysicalOperator, ops.PhysicalOperator]:
+        """Lower WITH/RETURN into project → distinct → sort → skip → limit.
+
+        Returns the pipeline top plus the projection operator itself —
+        downstream operators (Sort, AsRows, ProduceResults) read its
+        items/keys lazily, since ``RETURN *`` only resolves its scope when
+        the projection opens.
+        """
+        aggregated_items = any(
+            _contains_aggregate(item.expression) for item in clause.items
+        )
+        projection: ops.PhysicalOperator
+        if clause.star:
+            if aggregated_items:
+                projection = ops.Aggregate(state, child, context, clause, meta=None)
+            else:
+                projection = ops.StarProject(state, child, context, clause)
+        else:
+            # Projection metadata only depends on the clause, not the rows;
+            # cache it per clause so repeated runs of a cached AST skip the
+            # re-derivation (``RETURN *`` is row-scoped and never cached).
+            meta = context._projection_meta.get(id(clause))
+            if meta is None:
+                items, keys, aggregated, grouping = ops.derive_projection(clause, [])
+                if len(context._projection_meta) > 4096:
+                    context._projection_meta.clear()
+                context._projection_meta[id(clause)] = (
+                    clause, items, keys, aggregated, grouping,
+                )
+            else:
+                _, items, keys, aggregated, grouping = meta
+            if aggregated:
+                projection = ops.Aggregate(
+                    state, child, context, clause,
+                    meta=(items, keys, aggregated, grouping),
+                )
+            else:
+                projection = ops.Project(state, child, context, items, keys)
+        op: ops.PhysicalOperator = projection
+        if clause.distinct:
+            op = ops.Distinct(state, (op,))
+        start = 0
+        if clause.skip is not None:
+            start = context._bounded_int(clause.skip, "SKIP")
+        end: Optional[int] = None
+        if clause.limit is not None:
+            end = start + context._bounded_int(clause.limit, "LIMIT")
+        if clause.order_by:
+            op = ops.Sort(state, op, context, clause.order_by, projection, top=end)
+        if start:
+            op = ops.Skip(state, op, start)
+        if end is not None:
+            op = ops.Limit(state, op, end - start)
+        return op, projection
+
+    def _lower_index_ordered(
+        self, tree: ast.SingleQuery, context: "_ExecutionContext", state: RuntimeState
+    ) -> Optional[ops.ProduceResults]:
+        """Fused top-k pipeline for ``MATCH (n:L) ... RETURN ... ORDER BY n.key LIMIT k``.
 
         When a single-node MATCH feeds straight into an ordered, limited
-        RETURN and a sorted index covers the ORDER BY key, rows can be
-        streamed in index order and collection stopped as soon as the top
-        ``SKIP + LIMIT`` rows (plus their whole tie group on the primary
-        key, which the canonical tie-break may still reorder) are in hand —
-        skipping both the full label scan and the full sort.  The collected
-        prefix then flows through the ordinary projection operator, so
-        output is row-for-row identical to the unfused pipeline.
+        RETURN and a sorted index covers the ORDER BY key, rows stream in
+        index order through an :class:`~repro.cypher.operators.IndexOrderedScan`
+        that stops as soon as the top ``SKIP + LIMIT`` rows (plus their
+        whole tie group on the primary key, which the canonical tie-break
+        may still reorder) are out — skipping both the full label scan and
+        the full sort.  The scanned prefix then flows through the ordinary
+        projection pipeline, so output is row-for-row identical to the
+        unfused plan.
         """
         if context.plans is None or len(tree.clauses) != 2:
             return None
@@ -452,27 +635,15 @@ class CypherEngine:
             return None
 
         needed = self._fused_row_budget(ret, context)
-        if needed == 0:
-            return context.apply_return([], ret)
-        evaluate = context.evaluator.evaluate
-        collected: list[Row] = []
-        boundary: Any = None
-        for node in stream:
-            row = context._bind_node(node_pattern, node, {}, plan.filters)
-            if row is None:
-                continue
-            if match.where is not None:
-                if is_truthy(evaluate(match.where, row)) is not True:
-                    continue
-            key = sort_key(evaluate(order_expr, row))
-            if descending:
-                key = _Descending(key)
-            if len(collected) >= needed and boundary < key:
-                break
-            collected.append(row)
-            if len(collected) == needed:
-                boundary = key
-        return context.apply_return(collected, ret)
+        direction = " DESC" if descending else ""
+        scan = ops.IndexOrderedScan(
+            state, context, stream, node_pattern, plan.filters, match.where,
+            order_expr, descending, needed,
+            detail=f"{anchor.describe()} ORDER BY {variable}.{order_expr.key}{direction}",
+        )
+        scan.estimate = plan.parts[0].est_rows
+        op, projection = self._lower_projection(scan, ret, context, state)
+        return ops.ProduceResults(state, op, projection)
 
     def _anchor_stream(
         self,
@@ -540,37 +711,9 @@ class _ExecutionContext:
         }
 
     # -- MATCH ----------------------------------------------------------
-
-    def apply_match(self, rows: list[Row], clause: ast.MatchClause) -> list[Row]:
-        output: list[Row] = []
-        plan = self.plans.get(id(clause)) if self.plans is not None else None
-        where = clause.where
-        if not clause.optional:
-            evaluate = self.evaluator.evaluate
-            for row in rows:
-                if where is None:
-                    output.extend(self.match_pattern(clause.pattern, row, plan))
-                else:
-                    for matched in self.match_pattern(clause.pattern, row, plan):
-                        if is_truthy(evaluate(where, matched)) is True:
-                            output.append(matched)
-            return output
-        new_variables = _pattern_variables(clause.pattern)
-        for row in rows:
-            matches = []
-            for matched in self.match_pattern(clause.pattern, row, plan):
-                if where is not None:
-                    if is_truthy(self.evaluator.evaluate(where, matched)) is not True:
-                        continue
-                matches.append(matched)
-            if matches:
-                output.extend(matches)
-            else:
-                padded = dict(row)
-                for name in new_variables:
-                    padded.setdefault(name, None)
-                output.append(padded)
-        return output
+    # (Clause-level MATCH runs as physical operators — see the lowering in
+    # CypherEngine; the part/chain matchers below are shared by those
+    # operators, pattern-predicate evaluation and MERGE.)
 
     def match_pattern(
         self, pattern: ast.Pattern, row: Row, plan: Optional[MatchPlan] = None
@@ -1153,201 +1296,9 @@ class _ExecutionContext:
         assert isinstance(first, ast.NodePattern) and isinstance(last, ast.NodePattern)
         return _node_selectivity(last, row) > _node_selectivity(first, row)
 
-    # -- UNWIND ----------------------------------------------------------
-
-    def apply_unwind(self, rows: list[Row], clause: ast.UnwindClause) -> list[Row]:
-        output: list[Row] = []
-        for row in rows:
-            value = self.evaluator.evaluate(clause.expression, row)
-            if value is None:
-                continue
-            if not isinstance(value, list):
-                value = [value]
-            for item in value:
-                new_row = dict(row)
-                new_row[clause.variable] = item
-                output.append(new_row)
-        return output
-
     # -- WITH / RETURN ----------------------------------------------------
-
-    def apply_with(self, rows: list[Row], clause: ast.WithClause) -> list[Row]:
-        projected = self._project(rows, clause)
-        output = [dict(zip(projected.keys, record.values())) for record in projected.records]
-        if clause.where is not None:
-            output = [
-                row
-                for row in output
-                if is_truthy(self.evaluator.evaluate(clause.where, row)) is True
-            ]
-        return output
-
-    def apply_return(self, rows: list[Row], clause: ast.ReturnClause) -> ResultSet:
-        return self._project(rows, clause)
-
-    def _project(self, rows: list[Row], clause: ast.ProjectionClause) -> ResultSet:
-        # Projection metadata (output names, aggregate detection) only
-        # depends on the clause, not the rows; cache it per clause so
-        # repeated runs of a cached AST skip the re-derivation.  ``RETURN *``
-        # depends on row scope and is never cached.
-        meta = None if clause.star else self._projection_meta.get(id(clause))
-        if meta is not None:
-            _, items, keys, aggregated, grouping_indices = meta
-        else:
-            items = list(clause.items)
-            if clause.star:
-                in_scope = sorted({name for row in rows for name in row})
-                star_items = [
-                    ast.ReturnItem(expression=ast.Variable(name), alias=name)
-                    for name in in_scope
-                ]
-                items = star_items + items
-            if not items:
-                raise CypherSyntaxError("projection requires at least one item")
-            keys = [item.output_name() for item in items]
-            aggregated = any(_contains_aggregate(item.expression) for item in items)
-            grouping_indices = [
-                i
-                for i, item in enumerate(items)
-                if not _contains_aggregate(item.expression)
-            ]
-            if not clause.star:
-                if len(self._projection_meta) > 4096:
-                    self._projection_meta.clear()
-                self._projection_meta[id(clause)] = (
-                    clause, items, keys, aggregated, grouping_indices,
-                )
-
-        # Each produced row is (values, order_env_rows) where order_env_rows
-        # are the source rows ORDER BY may need (group rows when aggregated).
-        produced: list[tuple[list[Any], list[Row]]] = []
-        if aggregated:
-            produced = self._project_grouped(rows, items, grouping_indices)
-        else:
-            for row in rows:
-                values = [self.evaluator.evaluate(item.expression, row) for item in items]
-                produced.append((values, [row]))
-
-        if clause.distinct:
-            seen: set[Any] = set()
-            unique: list[tuple[list[Any], list[Row]]] = []
-            for values, env in produced:
-                frozen = _freeze(values)
-                if frozen in seen:
-                    continue
-                seen.add(frozen)
-                unique.append((values, env))
-            produced = unique
-
-        start = 0
-        if clause.skip is not None:
-            start = self._bounded_int(clause.skip, "SKIP")
-        end: Optional[int] = None
-        if clause.limit is not None:
-            end = start + self._bounded_int(clause.limit, "LIMIT")
-
-        if clause.order_by:
-            produced = self._order(
-                produced, clause.order_by, items, keys, aggregated, top=end
-            )
-        produced = produced[start:end]
-
-        records = [Record(keys, values) for values, _ in produced]
-        return ResultSet(keys, records)
-
-    def _project_grouped(
-        self,
-        rows: list[Row],
-        items: list[ast.ReturnItem],
-        grouping_indices: Optional[list[int]] = None,
-    ) -> list[tuple[list[Any], list[Row]]]:
-        if grouping_indices is None:
-            grouping_indices = [
-                i
-                for i, item in enumerate(items)
-                if not _contains_aggregate(item.expression)
-            ]
-        groups: dict[Any, tuple[list[Any], list[Row]]] = {}
-        order: list[Any] = []
-        for row in rows:
-            group_values = [
-                self.evaluator.evaluate(items[i].expression, row) for i in grouping_indices
-            ]
-            group_key = _freeze(group_values)
-            if group_key not in groups:
-                groups[group_key] = (group_values, [])
-                order.append(group_key)
-            groups[group_key][1].append(row)
-
-        if not rows and not grouping_indices:
-            # Aggregates over zero rows still produce one row (count(*) = 0).
-            groups[()] = ([], [])
-            order.append(())
-
-        produced: list[tuple[list[Any], list[Row]]] = []
-        for group_key in order:
-            group_values, group_rows = groups[group_key]
-            values: list[Any] = []
-            group_iter = iter(group_values)
-            for i, item in enumerate(items):
-                if i in grouping_indices:
-                    values.append(next(group_iter))
-                else:
-                    values.append(self.evaluator.evaluate_aggregate(item.expression, group_rows))
-            produced.append((values, group_rows))
-        return produced
-
-    def _order(
-        self,
-        produced: list[tuple[list[Any], list[Row]]],
-        order_by: tuple[ast.OrderItem, ...],
-        items: list[ast.ReturnItem],
-        keys: list[str],
-        aggregated: bool,
-        top: Optional[int] = None,
-    ) -> list[tuple[list[Any], list[Row]]]:
-        """Sort ``produced``; with ``top`` set, only the first ``top`` rows.
-
-        Every row's full ORDER BY key (including the canonical tie-break) is
-        evaluated exactly once up front and reused by whichever selection
-        runs: ``heapq.nsmallest`` bounded selection when ``top`` covers less
-        than the input (O(n log k), never materialises a full sort), else a
-        plain stable sort.  Both are stable on equal keys, so the heap path
-        is row-for-row identical to sorting and slicing.
-        """
-        def order_values(entry: tuple[list[Any], list[Row]]) -> tuple:
-            values, env_rows = entry
-            alias_env = dict(zip(keys, values))
-            base = dict(env_rows[0]) if env_rows else {}
-            base.update(alias_env)
-            sort_parts = []
-            for order_item in order_by:
-                if aggregated and _contains_aggregate(order_item.expression):
-                    value = self.evaluator.evaluate_aggregate(order_item.expression, env_rows)
-                else:
-                    value = self.evaluator.evaluate(order_item.expression, base)
-                key = sort_key(value)
-                if order_item.descending:
-                    sort_parts.append(_Descending(key))
-                else:
-                    sort_parts.append(key)
-            # Canonical tie-break over the projected values: rows that compare
-            # equal on every ORDER BY key would otherwise keep match-order,
-            # which depends on the chosen plan.  This keeps ordered output
-            # identical whether the planner is on or off.
-            try:
-                sort_parts.append(tuple(sort_key(value) for value in values))
-            except CypherTypeError:
-                sort_parts.append(())
-            return tuple(sort_parts)
-
-        decorated = [(order_values(entry), entry) for entry in produced]
-        if top is not None and 0 <= top < len(decorated):
-            selected = heapq.nsmallest(top, decorated, key=itemgetter(0))
-        else:
-            decorated.sort(key=itemgetter(0))
-            selected = decorated
-        return [entry for _, entry in selected]
+    # (Projection, DISTINCT, ORDER BY and SKIP/LIMIT run as physical
+    # operators — repro.cypher.operators — fed by the lowering above.)
 
     def _bounded_int(self, expr: ast.Expr, what: str) -> int:
         value = self.evaluator.evaluate(expr, {})
@@ -1949,20 +1900,9 @@ class _Evaluator:
 # Helpers
 # ---------------------------------------------------------------------------
 
-class _Descending:
-    """Inverts comparison order for DESC sort keys."""
-
-    __slots__ = ("key",)
-
-    def __init__(self, key: Any) -> None:
-        self.key = key
-
-    def __lt__(self, other: "_Descending") -> bool:
-        return other.key < self.key
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Descending) and other.key == self.key
-
+# (_Descending, _freeze, _contains_aggregate and _same_rel_binding moved to
+# repro.cypher.operators with the projection/ordering machinery; imported
+# above for the matchers and evaluator that still use them.)
 
 def math_fmod(left: float | int, right: float | int) -> float | int:
     """Cypher ``%``: sign follows the dividend, ints stay ints."""
@@ -1980,85 +1920,6 @@ def _concat_text(value: Any) -> str:
     if isinstance(value, float) and value.is_integer():
         return f"{value:.1f}"
     return str(value)
-
-
-def _freeze(value: Any) -> Any:
-    """Convert a value into a hashable group/dedup key."""
-    cls = value.__class__
-    if cls is str or cls is int or cls is bool or value is None:
-        return value
-    if isinstance(value, list):
-        return ("list", tuple(_freeze(item) for item in value))
-    if isinstance(value, dict):
-        return ("map", tuple(sorted((k, _freeze(v)) for k, v in value.items())))
-    if isinstance(value, Node):
-        return ("node", value.node_id)
-    if isinstance(value, Relationship):
-        return ("rel", value.rel_id)
-    if isinstance(value, Path):
-        return ("path", tuple(n.node_id for n in value.nodes), tuple(r.rel_id for r in value.relationships))
-    if isinstance(value, float) and value.is_integer():
-        return float(value)
-    return value
-
-
-def _contains_aggregate(expr: ast.Expr) -> bool:
-    """Walk an expression tree looking for aggregate calls."""
-    if isinstance(expr, ast.CountStar):
-        return True
-    if isinstance(expr, ast.FunctionCall):
-        if is_aggregate_function(expr.name):
-            return True
-        return any(_contains_aggregate(arg) for arg in expr.args)
-    if isinstance(expr, (ast.Literal, ast.Parameter, ast.Variable)):
-        return False
-    if isinstance(expr, ast.PropertyAccess):
-        return _contains_aggregate(expr.subject)
-    if isinstance(expr, ast.Subscript):
-        return _contains_aggregate(expr.subject) or _contains_aggregate(expr.index)
-    if isinstance(expr, ast.Slice):
-        return any(
-            _contains_aggregate(part)
-            for part in (expr.subject, expr.start, expr.end)
-            if part is not None
-        )
-    if isinstance(expr, ast.ListLiteral):
-        return any(_contains_aggregate(item) for item in expr.items)
-    if isinstance(expr, ast.MapLiteral):
-        return any(_contains_aggregate(value) for _, value in expr.items)
-    if isinstance(expr, ast.UnaryOp):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, ast.BinaryOp):
-        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
-    if isinstance(expr, ast.Comparison):
-        return any(_contains_aggregate(operand) for operand in expr.operands)
-    if isinstance(expr, ast.BooleanOp):
-        return any(_contains_aggregate(operand) for operand in expr.operands)
-    if isinstance(expr, ast.NotOp):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, ast.IsNull):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, ast.StringPredicate):
-        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
-    if isinstance(expr, ast.InList):
-        return _contains_aggregate(expr.value) or _contains_aggregate(expr.container)
-    if isinstance(expr, ast.CaseExpr):
-        parts: list[ast.Expr] = []
-        if expr.subject is not None:
-            parts.append(expr.subject)
-        for condition, result in expr.whens:
-            parts.extend((condition, result))
-        if expr.default is not None:
-            parts.append(expr.default)
-        return any(_contains_aggregate(part) for part in parts)
-    if isinstance(expr, ast.ListComprehension):
-        parts = [expr.source]
-        if expr.predicate is not None:
-            parts.append(expr.predicate)
-        if expr.projection is not None:
-            parts.append(expr.projection)
-        return any(_contains_aggregate(part) for part in parts)
-    return False
 
 
 def _pattern_variables(pattern: ast.Pattern) -> list[str]:
@@ -2108,12 +1969,3 @@ def _reverse_elements(
         else:
             flipped.append(element)
     return flipped
-
-
-def _same_rel_binding(existing: Any, candidate: Any) -> bool:
-    """Is a rebound relationship variable consistent with its prior value?"""
-    if isinstance(existing, Relationship) and isinstance(candidate, Relationship):
-        return existing.rel_id == candidate.rel_id
-    if isinstance(existing, list) and isinstance(candidate, list):
-        return [r.rel_id for r in existing] == [r.rel_id for r in candidate]
-    return False

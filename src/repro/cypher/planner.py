@@ -112,6 +112,23 @@ class AnchorPlan:
             return f"LabelScan(:{self.label})"
         return "AllNodesScan"
 
+    def physical_operator(self) -> tuple[str, str]:
+        """The ``(name, detail)`` pair the physical AnchorScan operator
+        displays for this access path (PROFILE / ``cypher_profile``)."""
+        if self.kind == "bound":
+            return "BoundAnchor", self.variable or ""
+        if self.kind == "property":
+            return "HashLookup", f":{self.label}.{self.key}"
+        if self.kind == "property-in":
+            return "HashLookup", f":{self.label}.{self.key} IN {len(self.values)} values"
+        if self.kind == "range":
+            return "RangeLookup", f":{self.label}.{self.key}"
+        if self.kind == "prefix":
+            return "PrefixLookup", f":{self.label}.{self.key}"
+        if self.kind == "label":
+            return "LabelScan", f":{self.label}"
+        return "AllNodesScan", ""
+
 
 def _expr_text(expr: ast.Expr) -> str:
     """Render a pushable (literal/parameter) expression for EXPLAIN."""

@@ -106,7 +106,9 @@ class ResultSet:
     """An executed query's full output: column keys plus records.
 
     Also carries write-op counters so callers can report what a mutating
-    query changed (à la Neo4j's result summary).
+    query changed (à la Neo4j's result summary), and — when execution ran
+    with ``profile=True`` — the executed physical operator tree as a
+    JSON-safe dict on ``profile`` (rows produced + wall-time per operator).
     """
 
     def __init__(
@@ -126,6 +128,8 @@ class ResultSet:
         self.properties_set = properties_set
         self.nodes_deleted = nodes_deleted
         self.relationships_deleted = relationships_deleted
+        #: executed operator tree (dict), set by ``execute(profile=True)``
+        self.profile: dict[str, Any] | None = None
 
     def single(self) -> Record:
         """Return the only record; raises if there is not exactly one."""

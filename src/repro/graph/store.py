@@ -239,6 +239,11 @@ class GraphStore:
         self._adjacency_cache: dict[
             tuple[int, str, tuple[str, ...] | None], tuple[Relationship, ...]
         ] = {}
+        # label -> id-ordered node-id tuple, memoising the per-scan sort of
+        # the label index; cleared on mutation.  The streaming executor
+        # opens a fresh label scan per anchor row, so this sort is per-row
+        # work without the cache.
+        self._label_scan_cache: dict[str, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Creation / mutation
@@ -534,9 +539,19 @@ class GraphStore:
             yield self._relationships[rel_id]
 
     def nodes_by_label(self, label: str) -> Iterator[Node]:
-        """Iterate nodes carrying ``label`` in id order."""
-        for node_id in sorted(self._label_index.get(label, ())):
-            yield self._nodes[node_id]
+        """Iterate nodes carrying ``label`` in id order (lazily).
+
+        The id-ordered scan list is memoised per label (cleared on any
+        mutation), and iteration walks a stable snapshot — a streaming
+        consumer abandoning the scan early pays only for the rows pulled.
+        """
+        ordered = self._label_scan_cache.get(label)
+        if ordered is None:
+            ordered = tuple(sorted(self._label_index.get(label, ())))
+            self._label_scan_cache[label] = ordered
+        nodes = self._nodes
+        for node_id in ordered:
+            yield nodes[node_id]
 
     def nodes_by_property(self, label: str, key: str, value: Any) -> Iterator[Node]:
         """Iterate nodes with ``label`` whose ``key`` equals ``value``.
@@ -781,10 +796,12 @@ class GraphStore:
     # ------------------------------------------------------------------
 
     def _touch(self) -> None:
-        """Record a mutation (invalidates statistics, plan and adjacency caches)."""
+        """Record a mutation (invalidates statistics, plan and scan caches)."""
         self._stats_version += 1
         if self._adjacency_cache:
             self._adjacency_cache.clear()
+        if self._label_scan_cache:
+            self._label_scan_cache.clear()
 
     @staticmethod
     def _index_key(value: Any) -> Any:

@@ -29,6 +29,7 @@ __all__ = [
     "PipelineError",
     "SymbolicTranslationError",
     "ExecutionError",
+    "ResourceExhausted",
     "EmptyResult",
     "DeadlineExceeded",
     "CircuitOpen",
@@ -61,6 +62,17 @@ class ExecutionError(PipelineError):
     """The generated Cypher failed at parse or execution time."""
 
     kind = "execution"
+
+
+class ResourceExhausted(ExecutionError):
+    """The query blew through the engine's intermediate-row budget.
+
+    A subclass of :class:`ExecutionError` (it still counts as a breaker
+    failure and routes to the vector fallback) with its own ``kind`` so
+    dashboards can tell runaway scans from plain bad Cypher.
+    """
+
+    kind = "resource_exhausted"
 
 
 class EmptyResult(PipelineError):
@@ -102,6 +114,12 @@ def classify_symbolic_failure(
     if retrieval.error == "translation_failed":
         return SymbolicTranslationError("the question could not be translated")
     if retrieval.error is not None:
+        # The retriever renders engine errors as "<TypeName>: <message>";
+        # two runtime types get their own taxonomy slots.
+        if retrieval.error.startswith("CypherDeadlineExceeded"):
+            return DeadlineExceeded(retrieval.error)
+        if retrieval.error.startswith("ResourceExhausted"):
+            return ResourceExhausted(retrieval.error, cypher=retrieval.cypher)
         return ExecutionError(retrieval.error, cypher=retrieval.cypher)
     if retrieval.result is not None and (
         len(retrieval.result.records) <= sparse_row_threshold

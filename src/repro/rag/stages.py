@@ -177,7 +177,12 @@ class SymbolicRetrievalStage:
                 CircuitOpen("symbolic circuit breaker is open"),
                 "symbolic_skipped_breaker_open",
             )
-        symbolic = self.retriever.retrieve(ctx.question)
+        if ctx.deadline is not None and getattr(self.retriever, "supports_deadline", False):
+            # Deadline-aware retrievers check the clock cooperatively
+            # between operator next() calls inside the engine.
+            symbolic = self.retriever.retrieve(ctx.question, deadline=ctx.deadline)
+        else:
+            symbolic = self.retriever.retrieve(ctx.question)
         if symbolic.error is not None:
             logger.debug(
                 "symbolic retrieval failed for %r: %s", ctx.question, symbolic.error
@@ -196,14 +201,20 @@ class SymbolicRetrievalStage:
         sparse = symbolic.result is not None and (
             len(symbolic.result.records) <= self.sparse_row_threshold
         )
+        generation = copy.deepcopy(dict(symbolic.metadata))
+        # The executed operator tree is a top-level diagnostic (observers
+        # aggregate per-operator stats from it), not generation metadata.
+        cypher_profile = generation.pop("cypher_profile", None)
         diagnostics = {
             **ctx.diagnostics,
             # deep copy: diagnostics must be safe to mutate post-hoc without
             # reaching back into retriever/LLM-owned structures
-            "generation": copy.deepcopy(dict(symbolic.metadata)),
+            "generation": generation,
             "symbolic_error": symbolic.error,
             "fallback_used": False,
         }
+        if cypher_profile is not None:
+            diagnostics["cypher_profile"] = cypher_profile
         if error is not None:
             diagnostics["error_class"] = error.to_dict()
         return ctx.evolve(

@@ -39,6 +39,9 @@ def default_text2cypher_prompt(question: str, schema: str) -> str:
 class TextToCypherRetriever(Retriever):
     """LLM → Cypher → graph execution → structured context."""
 
+    #: the symbolic stage passes its request deadline into retrieve()
+    supports_deadline = True
+
     def __init__(
         self,
         engine: CypherEngine,
@@ -46,6 +49,8 @@ class TextToCypherRetriever(Retriever):
         schema_text: str = "",
         prompt_builder: Callable[[str, str], str] | None = None,
         capture_plan: bool = False,
+        capture_profile: bool = False,
+        row_budget: int | None = None,
     ) -> None:
         self.engine = engine
         self.llm = llm
@@ -55,12 +60,19 @@ class TextToCypherRetriever(Retriever):
         # metadata["plan"] — chosen anchors, directions and row estimates
         # for the generated query (cheap: the AST is already cached).
         self.capture_plan = capture_plan
+        # When on, every execution runs profiled and retrievals carry the
+        # executed operator tree (rows + wall-time per operator) in
+        # metadata["cypher_profile"].
+        self.capture_profile = capture_profile
+        # Intermediate-row budget forwarded to every execution (None =
+        # engine default); overruns surface as a ResourceExhausted error.
+        self.row_budget = row_budget
 
     @property
     def name(self) -> str:
         return "text2cypher"
 
-    def retrieve(self, query: str) -> RetrievalResult:
+    def retrieve(self, query: str, deadline=None) -> RetrievalResult:
         prompt = self.prompt_builder(query, self.schema_text)
         completion = self.llm.complete(prompt)
         cypher = completion.metadata.get("cypher")
@@ -76,7 +88,12 @@ class TextToCypherRetriever(Retriever):
             )
         logger.debug("generated cypher for %r: %s", query, cypher)
         try:
-            result = self.engine.run(cypher)
+            result = self.engine.execute(
+                cypher,
+                deadline=deadline,
+                row_budget=self.row_budget,
+                profile=self.capture_profile,
+            )
         except CypherError as exc:
             logger.debug("generated cypher failed: %s", exc)
             return RetrievalResult(
@@ -87,6 +104,8 @@ class TextToCypherRetriever(Retriever):
             )
         if self.capture_plan:
             generation_meta["plan"] = self.engine.explain(cypher)
+        if self.capture_profile and result.profile is not None:
+            generation_meta["cypher_profile"] = result.profile
         return RetrievalResult(
             nodes=self._result_nodes(result),
             source=self.name,

@@ -225,11 +225,14 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
                     {"error": "'deadline_ms' must be a positive number"}, status=400
                 )
                 return
-            response = self.chatiyp.ask(question, deadline_ms=deadline_ms)
-            self._send_json(response.to_dict())
+            body = self.chatiyp.ask(question, deadline_ms=deadline_ms).to_dict()
         finally:
+            # Slot goes back before the success response is written: a
+            # client acting on the reply immediately (the tests poll the
+            # admission snapshot) must never observe it still held.
             if admission is not None:
                 admission.release()
+        self._send_json(body)
 
     @staticmethod
     def _bad_budget(value) -> bool:
@@ -321,13 +324,14 @@ class ChatIYPRequestHandler(BaseHTTPRequestHandler):
                     results[index] = {"ok": True, "response": outcome.value.to_dict()}
                 else:
                     results[index] = {"ok": False, "error": str(outcome.error)}
-            self._send_json(
-                {"results": results, "count": len(results), "workers": workers}
-            )
+            body = {"results": results, "count": len(results), "workers": workers}
         finally:
+            # As in _handle_ask: return every slot before the response goes
+            # out, so the client never races the handler for them.
             if admission is not None:
                 for _ in range(1 + extra_slots):
                     admission.release()
+        self._send_json(body)
 
     def _handle_cypher(self) -> None:
         payload = self._read_json_body()

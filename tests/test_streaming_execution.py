@@ -1,0 +1,368 @@
+"""Streaming (Volcano-style) execution layer: equivalence and guarantees.
+
+The physical operator tree must be invisible at the result level — rows,
+ordering, tie-breaks and counters bit-identical between planner-on,
+planner-off and the expected values — while delivering the streaming
+guarantees the layer exists for: LIMIT-bounded intermediate rows, a
+row-budget guard (``ResourceExhausted``), cooperative deadline
+cancellation (``CypherDeadlineExceeded``), and a complete per-operator
+PROFILE tree that flows into pipeline diagnostics and metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cypher import (
+    CypherDeadlineExceeded,
+    CypherEngine,
+    CypherSyntaxError,
+    ResourceExhausted,
+)
+from repro.cypher.operators import max_operator_rows
+from repro.graph import GraphStore
+from repro.llm.base import LLM, CompletionResponse
+from repro.rag.errors import DeadlineExceeded
+from repro.rag.errors import ResourceExhausted as RagResourceExhausted
+from repro.rag.observer import MetricsRegistry
+from repro.rag.stages import QueryContext, SymbolicRetrievalStage
+from repro.rag.text2cypher_retriever import TextToCypherRetriever
+from repro.serving import Deadline
+
+
+@pytest.fixture()
+def chain_store():
+    """AS chain with ties, nulls and a country fan-in.
+
+    20 AS nodes ``asn=1..20``; ``tier`` cycles 0,1,2 (ties for ORDER BY);
+    asn 7 and 14 have no ``tier`` (null sort band); a DEPENDS_ON chain
+    1→2→...→20 for var-length paths; all even ASes -COUNTRY-> (JP),
+    odd -COUNTRY-> (US) except asn 13 which has no country (OPTIONAL MATCH).
+    """
+    store = GraphStore()
+    countries = {
+        "JP": store.create_node(["Country"], {"country_code": "JP"}),
+        "US": store.create_node(["Country"], {"country_code": "US"}),
+    }
+    nodes = []
+    for asn in range(1, 21):
+        properties = {"asn": asn}
+        if asn not in (7, 14):
+            properties["tier"] = asn % 3
+        nodes.append(store.create_node(["AS"], properties))
+    for left, right in zip(nodes, nodes[1:]):
+        store.create_relationship(left.node_id, "DEPENDS_ON", right.node_id)
+    for asn, node in enumerate(nodes, start=1):
+        if asn == 13:
+            continue
+        country = countries["JP" if asn % 2 == 0 else "US"]
+        store.create_relationship(node.node_id, "COUNTRY", country.node_id)
+    store.create_property_index("AS", "asn")
+    store.create_sorted_index("AS", "asn")
+    return store
+
+
+def both_engines(store):
+    return CypherEngine(store), CypherEngine(store, planner=False)
+
+
+def assert_equivalent(store, query, expected=None, **params):
+    """Planner-on and planner-off must produce bit-identical result sets."""
+    planned, unplanned = both_engines(store)
+    a = planned.run(query, **params)
+    b = unplanned.run(query, **params)
+    assert a.keys == b.keys
+    assert a.to_dicts() == b.to_dicts()
+    if expected is not None:
+        assert a.to_dicts() == expected
+    return a
+
+
+class TestGoldenEquivalence:
+    def test_order_by_tie_groups(self, chain_store):
+        result = assert_equivalent(
+            chain_store,
+            "MATCH (a:AS) WHERE a.tier IS NOT NULL "
+            "RETURN a.tier AS tier, a.asn AS asn ORDER BY tier LIMIT 8",
+        )
+        # Canonical tie-break: within each tier, rows stay asn-ordered.
+        assert [row["asn"] for row in result.to_dicts()] == [3, 6, 9, 12, 15, 18, 1, 4]
+
+    def test_order_by_desc_skip_and_null_keys(self, chain_store):
+        result = assert_equivalent(
+            chain_store,
+            "MATCH (a:AS) RETURN a.tier AS tier, a.asn AS asn "
+            "ORDER BY tier DESC SKIP 2 LIMIT 6",
+        )
+        # Nulls sort last ascending => first descending; SKIP 2 drops them.
+        assert all(row["tier"] == 2 for row in result.to_dicts())
+
+    def test_union_dedup_and_union_all(self, chain_store):
+        deduped = assert_equivalent(
+            chain_store,
+            "MATCH (a:AS) WHERE a.asn <= 3 RETURN a.asn AS n "
+            "UNION MATCH (a:AS) WHERE a.asn >= 2 AND a.asn <= 4 RETURN a.asn AS n",
+        )
+        assert sorted(row["n"] for row in deduped.to_dicts()) == [1, 2, 3, 4]
+        doubled = assert_equivalent(
+            chain_store,
+            "MATCH (a:AS) WHERE a.asn <= 3 RETURN a.asn AS n "
+            "UNION ALL MATCH (a:AS) WHERE a.asn <= 3 RETURN a.asn AS n",
+        )
+        assert len(doubled) == 6
+
+    def test_var_length_paths(self, chain_store):
+        assert_equivalent(
+            chain_store,
+            "MATCH (a:AS {asn: 1})-[:DEPENDS_ON*1..4]->(b:AS) "
+            "RETURN b.asn AS asn ORDER BY asn",
+            expected=[{"asn": 2}, {"asn": 3}, {"asn": 4}, {"asn": 5}],
+        )
+
+    def test_named_path_variable(self, chain_store):
+        result = assert_equivalent(
+            chain_store,
+            "MATCH p = (a:AS {asn: 1})-[:DEPENDS_ON*2..2]->(b:AS) "
+            "RETURN length(p) AS hops, b.asn AS asn",
+            expected=[{"hops": 2, "asn": 3}],
+        )
+        assert result.single()["hops"] == 2
+
+    def test_optional_match_null_padding(self, chain_store):
+        result = assert_equivalent(
+            chain_store,
+            "MATCH (a:AS) WHERE a.asn IN [12, 13] "
+            "OPTIONAL MATCH (a)-[:COUNTRY]->(c:Country) "
+            "RETURN a.asn AS asn, c.country_code AS cc ORDER BY asn",
+            expected=[{"asn": 12, "cc": "JP"}, {"asn": 13, "cc": None}],
+        )
+        assert result.to_dicts()[1]["cc"] is None
+
+    def test_return_star(self, chain_store):
+        result = assert_equivalent(
+            chain_store,
+            "MATCH (a:AS {asn: 5})-[:COUNTRY]->(c:Country) RETURN *",
+        )
+        assert result.keys == ["a", "c"]
+
+    def test_aggregation_with_grouping(self, chain_store):
+        assert_equivalent(
+            chain_store,
+            "MATCH (a:AS)-[:COUNTRY]->(c:Country) "
+            "RETURN c.country_code AS cc, count(a) AS n ORDER BY cc",
+            expected=[{"cc": "JP", "n": 10}, {"cc": "US", "n": 9}],
+        )
+
+    def test_with_where_distinct_pipeline(self, chain_store):
+        assert_equivalent(
+            chain_store,
+            "MATCH (a:AS) WITH a.tier AS tier WHERE tier IS NOT NULL "
+            "RETURN DISTINCT tier ORDER BY tier",
+            expected=[{"tier": 0}, {"tier": 1}, {"tier": 2}],
+        )
+
+
+class TestEarlyTermination:
+    def test_limit_bounds_intermediate_rows(self, chain_store):
+        engine = CypherEngine(chain_store)
+        result = engine.execute("MATCH (a:AS) RETURN a LIMIT 3", profile=True)
+        assert len(result) == 3
+        # No operator ever held more rows than the LIMIT needed — the scan
+        # stopped after 3 of the 20 AS nodes.
+        assert max_operator_rows(result.profile) <= 3
+
+    def test_limit_zero_opens_nothing(self, chain_store):
+        engine = CypherEngine(chain_store)
+        result = engine.execute("MATCH (a:AS) RETURN a LIMIT 0", profile=True)
+        assert len(result) == 0
+        assert max_operator_rows(result.profile) <= 1  # only the Init row
+
+    def test_fused_topk_stops_after_tie_group(self, chain_store):
+        engine = CypherEngine(chain_store)
+        result = engine.execute(
+            "MATCH (a:AS) RETURN a.asn AS asn ORDER BY a.asn LIMIT 4", profile=True
+        )
+        assert [row["asn"] for row in result.to_dicts()] == [1, 2, 3, 4]
+        # asn is unique, so the index-ordered scan reads exactly 4 entries.
+        assert max_operator_rows(result.profile) <= 4
+
+
+class TestRowBudget:
+    def test_budget_overrun_raises_resource_exhausted(self, chain_store):
+        engine = CypherEngine(chain_store, row_budget=10)
+        with pytest.raises(ResourceExhausted, match="row budget"):
+            engine.run("MATCH (a:AS)-[:COUNTRY]->(c:Country) RETURN a.asn, c")
+
+    def test_query_under_budget_succeeds(self, chain_store):
+        engine = CypherEngine(chain_store, row_budget=10)
+        result = engine.run("MATCH (a:AS {asn: 1}) RETURN a.asn AS n")
+        assert result.single()["n"] == 1
+
+    def test_per_call_budget_overrides_engine_default(self, chain_store):
+        engine = CypherEngine(chain_store)
+        with pytest.raises(ResourceExhausted):
+            engine.execute("MATCH (a:AS) RETURN a.asn", row_budget=5)
+        # ... and the engine default stays unbounded for plain calls.
+        assert len(engine.run("MATCH (a:AS) RETURN a.asn")) == 20
+
+
+class _SteppingClock:
+    """Monotonic fake clock: advances ``step`` seconds per reading."""
+
+    def __init__(self, step: float) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestDeadlineCancellation:
+    def test_expired_deadline_aborts_before_execution(self, chain_store):
+        engine = CypherEngine(chain_store)
+        dead = Deadline(1.0, clock=_SteppingClock(1.0))  # expired on first read
+        with pytest.raises(CypherDeadlineExceeded):
+            engine.execute("MATCH (a:AS) RETURN a.asn", deadline=dead)
+
+    def test_deadline_checked_mid_execution(self):
+        # Budget covers the upfront check but expires during the row loop:
+        # the engine must notice between next() calls, not run to the end.
+        store = GraphStore()
+        engine = CypherEngine(store)
+        deadline = Deadline(5.0, clock=_SteppingClock(0.001))
+        with pytest.raises(CypherDeadlineExceeded, match="intermediate rows"):
+            engine.execute(
+                "UNWIND range(1, 100000) AS x RETURN count(x)", deadline=deadline
+            )
+
+    def test_unexpired_deadline_is_harmless(self, chain_store):
+        engine = CypherEngine(chain_store)
+        deadline = Deadline.start(60_000.0)
+        result = engine.execute("MATCH (a:AS) RETURN count(a) AS n", deadline=deadline)
+        assert result.single()["n"] == 20
+
+
+def _walk(profile):
+    yield profile
+    for child in profile.get("children", ()):
+        yield from _walk(child)
+
+
+class TestProfileTree:
+    def test_every_operator_reports_rows_and_time(self, chain_store):
+        engine = CypherEngine(chain_store)
+        result = engine.execute(
+            "MATCH (a:AS)-[:COUNTRY]->(c:Country) WHERE a.asn <= 6 "
+            "RETURN c.country_code AS cc, count(a) AS n ORDER BY n DESC",
+            profile=True,
+        )
+        assert result.profile is not None
+        nodes = list(_walk(result.profile))
+        assert len(nodes) >= 5  # scan, expand, filter, aggregate, sort, produce
+        for node in nodes:
+            assert isinstance(node["operator"], str) and node["operator"]
+            assert node["rows"] >= 0
+            assert node["time_ms"] >= 0.0
+            assert node["self_time_ms"] >= 0.0
+
+    def test_planned_anchor_carries_estimate(self, chain_store):
+        engine = CypherEngine(chain_store)
+        result = engine.execute(
+            "MATCH (a:AS {asn: 3}) RETURN a.asn", profile=True
+        )
+        estimates = [n for n in _walk(result.profile) if "estimate" in n]
+        assert estimates, "planned anchors must surface the planner estimate"
+
+    def test_render_profile_text(self, chain_store):
+        engine = CypherEngine(chain_store)
+        result, rendered = engine.profile("MATCH (a:AS {asn: 3}) RETURN a.asn AS n")
+        assert result.single()["n"] == 3
+        assert "ProduceResults" in rendered
+        assert "rows (" in rendered and "ms)" in rendered
+
+    def test_profile_off_by_default(self, chain_store):
+        engine = CypherEngine(chain_store)
+        assert engine.run("RETURN 1 AS x").profile is None
+
+
+class TestUnionStreaming:
+    def test_union_column_mismatch_is_syntax_error(self, chain_store):
+        engine = CypherEngine(chain_store)
+        with pytest.raises(CypherSyntaxError, match="same column names"):
+            engine.run("RETURN 1 AS a UNION RETURN 2 AS b")
+
+    def test_union_profile_shows_branches(self, chain_store):
+        engine = CypherEngine(chain_store)
+        _, rendered = engine.profile("RETURN 1 AS n UNION RETURN 2 AS n")
+        assert "UNION branch" in rendered
+
+    def test_union_streams_with_limit(self, chain_store):
+        # The consumer's LIMIT reaches into the union: the first branch
+        # satisfies it, so the second branch's scan stays unopened (0 rows).
+        engine = CypherEngine(chain_store)
+        result = engine.execute(
+            "MATCH (a:AS) RETURN a.asn AS n UNION ALL "
+            "MATCH (a:AS) RETURN a.asn + 100 AS n",
+            profile=True,
+        )
+        assert len(result) == 40
+        assert max_operator_rows(result.profile) >= 40
+
+
+class _FixedCypherLLM(LLM):
+    """Stub backbone: always emits the same Cypher."""
+
+    def __init__(self, cypher: str) -> None:
+        self.cypher = cypher
+
+    @property
+    def model_name(self) -> str:
+        return "fixed-cypher"
+
+    def complete(self, prompt: str) -> CompletionResponse:
+        return CompletionResponse(text=self.cypher, metadata={"cypher": self.cypher})
+
+
+class TestPipelineIntegration:
+    def test_cypher_profile_reaches_diagnostics_and_metrics(self, chain_store):
+        retriever = TextToCypherRetriever(
+            engine=CypherEngine(chain_store),
+            llm=_FixedCypherLLM("MATCH (a:AS) RETURN a.asn AS asn LIMIT 2"),
+            capture_profile=True,
+        )
+        stage = SymbolicRetrievalStage(retriever)
+        ctx = stage.run(QueryContext(question="list two ASes"))
+        profile = ctx.diagnostics.get("cypher_profile")
+        assert profile is not None
+        assert profile["operator"] == "ProduceResults"
+        # ... and not duplicated inside the generation metadata.
+        assert "cypher_profile" not in ctx.diagnostics["generation"]
+
+        metrics = MetricsRegistry()
+        metrics.record_profile(profile)
+        operators = metrics.snapshot()["operators"]
+        assert "ProduceResults" in operators
+        assert operators["ProduceResults"]["calls"] == 1
+
+    def test_row_budget_maps_to_taxonomy(self, chain_store):
+        retriever = TextToCypherRetriever(
+            engine=CypherEngine(chain_store),
+            llm=_FixedCypherLLM("MATCH (a:AS)-[:COUNTRY]->(c) RETURN a.asn, c"),
+            row_budget=5,
+        )
+        stage = SymbolicRetrievalStage(retriever)
+        ctx = stage.run(QueryContext(question="everything"))
+        assert isinstance(ctx.error, RagResourceExhausted)
+        assert ctx.error.kind == "resource_exhausted"
+
+    def test_engine_deadline_maps_to_taxonomy(self, chain_store):
+        retriever = TextToCypherRetriever(
+            engine=CypherEngine(chain_store),
+            llm=_FixedCypherLLM("UNWIND range(1, 100000) AS x RETURN count(x)"),
+        )
+        stage = SymbolicRetrievalStage(retriever)
+        deadline = Deadline(5.0, clock=_SteppingClock(0.001))
+        ctx = stage.run(QueryContext(question="slow", deadline=deadline))
+        assert isinstance(ctx.error, DeadlineExceeded)
+        assert ctx.diagnostics["error_class"]["kind"] == "deadline"
