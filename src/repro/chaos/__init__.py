@@ -1,0 +1,30 @@
+"""repro.chaos — fault-injected soak testing of the serving stack.
+
+``python -m repro.chaos --requests 300 --workers 8 --seed 7 --plan
+benchmarks/plans/smoke.json`` drives a multi-threaded load of
+deterministic questions through an in-process :class:`~repro.core.ChatIYP`
+while the :mod:`repro.faults` injector fails LLM calls, engine
+executions, vector searches, caches, single-flight leaders and admission
+slots — and audits serving invariants after every request (termination,
+batch integrity, degradation honesty, breaker legality, admission
+ceiling).  Violations exit non-zero with a seed + plan replay dump.
+"""
+
+from .invariants import (
+    DEGRADED_MARKERS,
+    LEGAL_BREAKER_TRANSITIONS,
+    InvariantChecker,
+    Violation,
+)
+from .runner import ChaosReport, ChaosRunner, RequestSpec, write_violation_dump
+
+__all__ = [
+    "DEGRADED_MARKERS",
+    "LEGAL_BREAKER_TRANSITIONS",
+    "ChaosReport",
+    "ChaosRunner",
+    "InvariantChecker",
+    "RequestSpec",
+    "Violation",
+    "write_violation_dump",
+]

@@ -1,0 +1,100 @@
+"""``python -m repro.chaos`` — the chaos soak CLI.
+
+Runs a multi-threaded soak against an in-process ChatIYP under a fault
+plan and exits non-zero on any invariant violation, dumping seed, plan
+and the offending requests for exact replay.
+
+Examples::
+
+    # the CI smoke: 300 requests, 8 workers, seeded, default plan
+    python -m repro.chaos --requests 300 --workers 8 --seed 7 \\
+        --plan benchmarks/plans/smoke.json
+
+    # fault-free soak (all injection sites are no-ops)
+    python -m repro.chaos --requests 100 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..faults import FaultPlan
+from .runner import ChaosRunner, write_violation_dump
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Chaos soak: fault-injected load with invariant auditing",
+    )
+    parser.add_argument("--requests", type=int, default=300)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--plan", default=None, help="fault plan JSON file (omit for a fault-free soak)"
+    )
+    parser.add_argument("--size", default="small", choices=("small", "medium", "large"))
+    parser.add_argument(
+        "--deadline-ms", type=float, default=300.0,
+        help="per-request budget; blown budgets must degrade, not hang",
+    )
+    parser.add_argument(
+        "--grace-ms", type=float, default=1_500.0,
+        help="slack on top of the deadline before a request counts as hung",
+    )
+    parser.add_argument(
+        "--max-concurrency", type=int, default=None,
+        help="admission slots (default workers//2 so the queue is exercised)",
+    )
+    parser.add_argument(
+        "--batch-every", type=int, default=10,
+        help="every Nth request goes through ask_batch (0 disables batches)",
+    )
+    parser.add_argument(
+        "--dump", default="chaos_violation.json",
+        help="where to write the replay dump on violation",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print the (non-reproducible) observed stats to stderr",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    plan = FaultPlan.from_file(args.plan) if args.plan else None
+    runner = ChaosRunner(
+        requests=args.requests,
+        workers=args.workers,
+        seed=args.seed,
+        plan=plan,
+        dataset_size=args.size,
+        deadline_ms=args.deadline_ms,
+        grace_ms=args.grace_ms,
+        max_concurrency=args.max_concurrency,
+        batch_every=args.batch_every,
+    )
+    report = runner.run()
+    # The summary is the reproducibility contract: bit-identical across
+    # runs for a fixed seed + plan.  Observed stats go to stderr only.
+    print(json.dumps(report.summary, indent=2, sort_keys=True))
+    if args.verbose:
+        print(json.dumps(report.observed, indent=2, sort_keys=True), file=sys.stderr)
+    if not report.ok:
+        dump_path = write_violation_dump(args.dump, runner, report.violations)
+        print(
+            f"chaos: {len(report.violations)} invariant violation(s); "
+            f"replay dump written to {dump_path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ from typing import Any, Iterable, Optional, Sequence, Union
 from ..cypher.executor import CypherEngine
 from ..cypher.result import ResultSet
 from ..embed.model import HashingEmbedding
+from ..faults import active_injector, fault_point
 from ..graph.schema import introspect_schema
 from ..iyp.generator import IYPDataset
 from ..iyp.loader import load_dataset
@@ -159,13 +160,17 @@ class ChatIYP:
                     f"breaker.{new.value}"
                 ),
             )
-        retry_policy = None
+        self.retry_policy: Optional[RetryPolicy] = None
         if self.config.llm_retry_attempts > 1:
-            retry_policy = RetryPolicy(
+            self.retry_policy = RetryPolicy(
                 attempts=self.config.llm_retry_attempts,
                 backoff_ms=self.config.llm_retry_backoff_ms,
                 seed=self.config.seed,
+                on_deadline_capped=lambda: self.metrics.increment(
+                    "retry.deadline_capped"
+                ),
             )
+        retry_policy = self.retry_policy
         self.answer_cache: Optional[AnswerCache] = (
             AnswerCache(self.config.answer_cache_size)
             if self.config.answer_cache_size > 0
@@ -224,6 +229,11 @@ class ChatIYP:
         self, text: str, cache_key: Optional[tuple], deadline: Optional[Deadline]
     ) -> ChatResponse:
         """Run the full pipeline once and (maybe) cache the answer."""
+        # Fault-injection site: one full pipeline execution. Injected
+        # latency here makes a slow single-flight leader (followers time
+        # out against their own deadlines and fall through); an injected
+        # error is a leader failure (followers re-execute independently).
+        fault_point("serving.execute")
         pipeline_response: PipelineResponse = self.pipeline.query(
             text, deadline=deadline
         )
@@ -367,10 +377,21 @@ class ChatIYP:
 
     def serving_snapshot(self) -> dict[str, Any]:
         """Live state of the serving-hardening layer (for ``/metrics``)."""
+        injector = active_injector()
         return {
             "cache": self.answer_cache.stats() if self.answer_cache else None,
             "breaker": self.breaker.snapshot() if self.breaker else None,
             "inflight": self.inflight.snapshot() if self.inflight else None,
+            "retry": (
+                {
+                    "retries": self.retry_policy.retries,
+                    "deadline_capped": self.retry_policy.deadline_capped,
+                }
+                if self.retry_policy
+                else None
+            ),
+            # Process-global fault injector (None outside chaos/staging runs).
+            "faults": injector.snapshot() if injector else None,
         }
 
     @property

@@ -28,6 +28,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional, Union
 
+from ..faults import fault_point
 from ..graph.model import Node, Path, Relationship
 from ..graph.store import GraphStore
 from . import ast_nodes as ast
@@ -156,6 +157,11 @@ class CypherEngine:
         ``profile=True`` the result carries the executed operator tree
         (rows + wall-time per operator) on ``result.profile``.
         """
+        # Fault-injection site: latency spikes sleep here; injected engine
+        # errors raise InjectedCypherError (a CypherRuntimeError), so they
+        # travel the organic failure path through the symbolic retriever,
+        # the error taxonomy and the circuit breaker.
+        fault_point("graph.execute")
         tree = self._ast_cache.get(query)
         if tree is None:
             tree = parse(query)

@@ -8,6 +8,7 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
+from ..faults import fault_point
 from ..nlp.tokenize import word_tokenize
 from .model import HashingEmbedding
 
@@ -158,6 +159,10 @@ class VectorStore:
         """
         if top_k <= 0:
             return []
+        # Fault-injection site: latency spikes and transient errors on the
+        # semantic retrieval path (the fallback the chaos plans lean on
+        # while the symbolic path is being failed).
+        fault_point("vector.search")
         matrix, entries = self._snapshot()
         if matrix.shape[0] == 0:
             return []

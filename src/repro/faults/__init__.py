@@ -1,0 +1,59 @@
+"""repro.faults — deterministic, seed-reproducible fault injection.
+
+Named injection sites are threaded through the serving hot paths (LLM
+heads, Cypher engine, vector store, answer cache, single-flight,
+admission control, stage boundaries); a :class:`FaultPlan` activated via
+:func:`activate` / :func:`activated` drives latency spikes, injected
+errors, garbage translations and admission shedding through them.  With
+no plan active every site is a single ``None`` check.
+
+Quickstart::
+
+    from repro.faults import FaultPlan, activated
+
+    plan = FaultPlan.from_file("benchmarks/plans/smoke.json")
+    with activated(plan):
+        chat.ask("Which country is AS2497 registered in?")
+
+The chaos soak harness (``python -m repro.chaos``) builds on this layer;
+see docs/architecture.md § "Fault injection and chaos testing".
+"""
+
+from .errors import (
+    InjectedCypherError,
+    InjectedFault,
+    InjectedTimeout,
+    InjectedTransientError,
+    is_injected,
+)
+from .injector import (
+    SITE_CATALOGUE,
+    FaultAction,
+    FaultInjector,
+    activate,
+    activated,
+    active_injector,
+    deactivate,
+    fault_point,
+)
+from .plan import ERROR_CLASSES, KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "ERROR_CLASSES",
+    "KINDS",
+    "SITE_CATALOGUE",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCypherError",
+    "InjectedFault",
+    "InjectedTimeout",
+    "InjectedTransientError",
+    "activate",
+    "activated",
+    "active_injector",
+    "deactivate",
+    "fault_point",
+    "is_injected",
+]

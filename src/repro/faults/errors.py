@@ -1,0 +1,58 @@
+"""Exception vocabulary of the fault-injection layer.
+
+Injected failures must be *distinguishable* from organic ones — the chaos
+harness treats a request that died of an :class:`InjectedFault` as an
+expected outcome, while any other uncaught exception is an invariant
+violation (the system crashed on its own).  They must also be
+*catchable by the layer they target*: an injected engine failure has to
+travel the same ``except CypherError`` path a real one would, which is why
+:class:`InjectedCypherError` inherits from the engine's own
+:class:`~repro.cypher.errors.CypherRuntimeError`.
+"""
+
+from __future__ import annotations
+
+from ..cypher.errors import CypherRuntimeError
+
+__all__ = [
+    "InjectedFault",
+    "InjectedTransientError",
+    "InjectedTimeout",
+    "InjectedCypherError",
+    "is_injected",
+]
+
+
+class InjectedFault(Exception):
+    """Base class of every deliberately injected failure."""
+
+
+class InjectedTransientError(InjectedFault):
+    """A transient infrastructure hiccup (retryable by policy)."""
+
+
+class InjectedTimeout(InjectedFault, TimeoutError):
+    """An injected timeout — also a :class:`TimeoutError` for callers
+    that key off the builtin hierarchy."""
+
+
+class InjectedCypherError(CypherRuntimeError, InjectedFault):
+    """An injected engine failure.
+
+    Travels the organic path: the symbolic retriever catches it as a
+    :class:`~repro.cypher.errors.CypherError`, the taxonomy maps it to
+    ``ExecutionError``, and the circuit breaker counts it as a failure.
+    """
+
+
+def is_injected(exc: BaseException) -> bool:
+    """True when ``exc`` (or anything on its cause/context chain) was
+    raised by the fault injector."""
+    seen: set[int] = set()
+    current: BaseException | None = exc
+    while current is not None and id(current) not in seen:
+        if isinstance(current, InjectedFault):
+            return True
+        seen.add(id(current))
+        current = current.__cause__ or current.__context__
+    return False

@@ -1,0 +1,174 @@
+"""Fault plans: the declarative, serialisable half of the injection layer.
+
+A :class:`FaultPlan` is a seed plus an ordered list of :class:`FaultSpec`
+rules.  Each spec targets one injection *site* (exact name or a trailing
+``*`` glob like ``llm.*``) and describes what to inject when its
+deterministic per-invocation draw lands under ``probability``:
+
+* ``latency`` — sleep ``latency_ms`` before the guarded operation;
+* ``error`` — raise an injected exception of class ``error``
+  (``transient`` | ``timeout`` | ``cypher``);
+* ``garbage`` — hand the call site a corruption directive it interprets
+  itself (the text-to-Cypher head substitutes unparsable Cypher);
+* ``shed`` — the admission controller refuses the slot.
+
+Plans are plain JSON so a violating soak can dump the exact plan next to
+its seed for bit-exact replay; :meth:`FaultPlan.digest` is the canonical
+identity used by CI artifacts and reproducibility checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+__all__ = ["FaultSpec", "FaultPlan", "KINDS", "ERROR_CLASSES"]
+
+KINDS = ("latency", "error", "garbage", "shed")
+ERROR_CLASSES = ("transient", "timeout", "cypher")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: where, what, how often, and over which window."""
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    latency_ms: float = 0.0
+    error: str = "transient"
+    payload: Optional[str] = None
+    #: fire only from the ``after``-th invocation of the site (per scope) …
+    after: int = 0
+    #: … up to (exclusive) the ``until``-th; ``None`` = forever
+    until: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("spec.site must be a non-empty site name")
+        if self.kind not in KINDS:
+            raise ValueError(f"spec.kind must be one of {KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"spec.probability must be in [0, 1], got {self.probability!r}")
+        if self.latency_ms < 0:
+            raise ValueError(f"spec.latency_ms must be >= 0, got {self.latency_ms!r}")
+        if self.error not in ERROR_CLASSES:
+            raise ValueError(
+                f"spec.error must be one of {ERROR_CLASSES}, got {self.error!r}"
+            )
+        if self.after < 0:
+            raise ValueError(f"spec.after must be >= 0, got {self.after!r}")
+        if self.until is not None and self.until <= self.after:
+            raise ValueError(
+                f"spec.until ({self.until!r}) must be greater than spec.after "
+                f"({self.after!r})"
+            )
+
+    def matches(self, site: str) -> bool:
+        """Exact match, or trailing-``*`` prefix glob (``llm.*``)."""
+        if self.site.endswith("*"):
+            return site.startswith(self.site[:-1])
+        return site == self.site
+
+    def active_at(self, invocation: int) -> bool:
+        """Is the spec's firing window open at this site invocation?"""
+        if invocation < self.after:
+            return False
+        return self.until is None or invocation < self.until
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "site": self.site,
+            "kind": self.kind,
+            "probability": self.probability,
+        }
+        if self.kind == "latency":
+            payload["latency_ms"] = self.latency_ms
+        if self.kind == "error":
+            payload["error"] = self.error
+        if self.payload is not None:
+            payload["payload"] = self.payload
+        if self.after:
+            payload["after"] = self.after
+        if self.until is not None:
+            payload["until"] = self.until
+        return payload
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "FaultSpec":
+        known = {spec_field for spec_field in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        return cls(**raw)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded collection of fault specs."""
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+    name: str = "unnamed"
+    _site_index: dict[str, tuple[tuple[int, FaultSpec], ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def specs_for(self, site: str) -> tuple[tuple[int, FaultSpec], ...]:
+        """``(spec_index, spec)`` pairs matching ``site`` (memoised)."""
+        cached = self._site_index.get(site)
+        if cached is None:
+            cached = tuple(
+                (index, spec)
+                for index, spec in enumerate(self.specs)
+                if spec.matches(site)
+            )
+            self._site_index[site] = cached
+        return cached
+
+    @property
+    def max_latency_ms(self) -> float:
+        """Largest single injected sleep any spec can add."""
+        return max((spec.latency_ms for spec in self.specs), default=0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    def digest(self) -> str:
+        """Canonical content identity (order-sensitive, whitespace-free)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "FaultPlan":
+        if not isinstance(raw, dict):
+            raise ValueError(f"fault plan must be a JSON object, got {type(raw).__name__}")
+        specs_raw = raw.get("specs", [])
+        if not isinstance(specs_raw, list):
+            raise ValueError("fault plan 'specs' must be a list")
+        specs = tuple(FaultSpec.from_dict(spec) for spec in specs_raw)
+        return cls(
+            seed=int(raw.get("seed", 0)),
+            specs=specs,
+            name=str(raw.get("name", "unnamed")),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Load a plan from a JSON file (the ``--plan`` CLI form)."""
+        text = Path(path).read_text()
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid fault plan JSON in {path}: {exc}") from exc
+        plan = cls.from_dict(raw)
+        if plan.name == "unnamed":
+            plan = cls(seed=plan.seed, specs=plan.specs, name=Path(path).stem)
+        return plan

@@ -24,6 +24,7 @@ from typing import Optional
 
 from ..cypher.result import Record, ResultSet
 from ..embed.model import HashingEmbedding
+from ..faults import fault_point
 from ..nlp.entities import Gazetteer
 from .base import LLM, CompletionResponse
 from .judge import AnswerJudge
@@ -71,6 +72,24 @@ class SimulatedLLM(LLM):
         """Route a marker-tagged prompt to the right head."""
         match = _TASK_RE.search(prompt)
         task = match.group(1).lower() if match else "answer"
+        # Fault-injection site ("llm.<task>"): latency and transient/timeout
+        # errors fire inside fault_point; a "garbage" action on the
+        # translation head substitutes unparsable Cypher, which then fails
+        # downstream exactly like an organic bad generation.
+        action = fault_point(f"llm.{task}")
+        if action is not None and action.kind == "garbage" and task == "text2cypher":
+            garbage = action.payload or "MATCH (chaos. RETURN"
+            return CompletionResponse(
+                text=garbage,
+                metadata={
+                    "task": "text2cypher",
+                    "cypher": garbage,
+                    "confidence": 0.0,
+                    "intent": "injected",
+                    "perturbation": "injected_garbage",
+                    "coverage": 0.0,
+                },
+            )
         sections = _sections(prompt)
         if task == "text2cypher":
             return self._complete_text2cypher(sections)

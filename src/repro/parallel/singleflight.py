@@ -27,6 +27,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Hashable, Optional
 
+from ..faults import fault_point
+
 __all__ = ["Flight", "SingleFlight"]
 
 #: wait() outcome markers
@@ -84,6 +86,10 @@ class SingleFlight:
         :meth:`finish` exactly once, even on failure — ``try/finally``);
         everyone else should :meth:`Flight.wait` on the returned flight.
         """
+        # Fault-injection site: registry contention / slow leader handoff.
+        # Fires before the lock; an injected sleep here widens the window
+        # in which concurrent duplicates pile onto one flight.
+        fault_point("singleflight.begin")
         with self._lock:
             flight = self._flights.get(key)
             if flight is not None:

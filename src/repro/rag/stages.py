@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional, Protocol, runtime_checkable
 
 from ..cypher.result import ResultSet, render_value
+from ..faults import fault_point
 from ..serving.breaker import CircuitBreaker
 from ..serving.deadline import Deadline
 from ..serving.retry import RetryPolicy
@@ -379,6 +380,10 @@ class StagePipeline:
 
     def run(self, ctx: QueryContext) -> QueryContext:
         for stage in self.stages:
+            # Fault-injection site ("stage.<name>"): latency between stages
+            # is the cleanest way to drive deadline-degradation paths —
+            # sleeping here burns budget without touching any stage logic.
+            fault_point(f"stage.{stage.name}")
             self._fanout.emit("on_stage_start", stage.name, ctx)
             error_before = ctx.error
             started = time.perf_counter()

@@ -83,7 +83,18 @@ def main(argv: list[str] | None = None) -> int:
         help="consecutive symbolic execution failures before the circuit "
              "breaker opens (0 disables the breaker)",
     )
+    hardening.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="activate a fault-injection plan (JSON, see benchmarks/plans/) "
+             "for the lifetime of the process — staging/chaos use only; "
+             "injector state is surfaced under /metrics",
+    )
     args = parser.parse_args(argv)
+
+    if args.fault_plan:
+        from ..faults import FaultPlan, activate
+
+        activate(FaultPlan.from_file(args.fault_plan))
 
     config = ChatIYPConfig(
         seed=args.seed,

@@ -16,6 +16,8 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from ..faults import fault_point
+
 __all__ = ["AdmissionController"]
 
 
@@ -49,6 +51,14 @@ class AdmissionController:
         Sheds immediately when the wait queue is full, otherwise waits up
         to ``timeout`` (default ``queue_timeout_s``) for capacity.
         """
+        # Fault-injection site: slot starvation. A "shed" action refuses
+        # the request outright (counted as a shed, exactly as a saturated
+        # queue would); injected latency delays entry to the gate.
+        action = fault_point("admission.acquire")
+        if action is not None and action.kind == "shed":
+            with self._cond:
+                self._shed += 1
+            return False
         wait_budget = self.queue_timeout_s if timeout is None else timeout
         with self._cond:
             if self._active < self.max_concurrency:

@@ -51,7 +51,9 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_after_ms = float(reset_after_ms)
         self._clock = clock
-        self._on_transition = on_transition
+        self._listeners: list[Callable[[BreakerState, BreakerState], None]] = []
+        if on_transition is not None:
+            self._listeners.append(on_transition)
         self._lock = threading.Lock()
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
@@ -68,11 +70,12 @@ class CircuitBreaker:
             self._opened_at = self._clock()
         if new_state is not BreakerState.HALF_OPEN:
             self._probe_in_flight = False
-        if self._on_transition is not None and old is not new_state:
-            try:
-                self._on_transition(old, new_state)
-            except Exception:  # noqa: BLE001 - callbacks must never break serving
-                pass
+        if old is not new_state:
+            for listener in self._listeners:
+                try:
+                    listener(old, new_state)
+                except Exception:  # noqa: BLE001 - callbacks must never break serving
+                    pass
 
     def allow(self) -> bool:
         """May a symbolic attempt proceed right now?
@@ -129,6 +132,18 @@ class CircuitBreaker:
                 self._transition(BreakerState.OPEN)
 
     # -- introspection -----------------------------------------------------
+
+    def subscribe(
+        self, listener: Callable[[BreakerState, BreakerState], None]
+    ) -> None:
+        """Add a ``(old, new)`` transition listener.
+
+        Listeners fire under the breaker lock and must be fast and
+        re-entrancy-free (the chaos harness uses this to audit that every
+        observed transition is legal).  Exceptions are swallowed.
+        """
+        with self._lock:
+            self._listeners.append(listener)
 
     @property
     def state(self) -> BreakerState:

@@ -21,6 +21,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
+from ..faults import fault_point
+
 __all__ = ["AnswerCache", "normalize_question"]
 
 
@@ -49,6 +51,10 @@ class AnswerCache:
 
     def get(self, key: Hashable) -> Optional[Any]:
         """Return the cached value (refreshing recency) or ``None``."""
+        # Fault-injection site: a slow (or failing) cache tier in front of
+        # the pipeline. Fires before the lock so injected latency never
+        # serialises other readers.
+        fault_point("cache.get")
         with self._lock:
             try:
                 value = self._entries[key]
@@ -84,6 +90,15 @@ class AnswerCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def entries(self) -> list[tuple[Hashable, Any]]:
+        """Point-in-time ``(key, value)`` snapshot (recency untouched).
+
+        For audits and debugging — the chaos harness sweeps it to verify
+        no degraded answer was ever cached.
+        """
+        with self._lock:
+            return list(self._entries.items())
 
     def stats(self) -> dict:
         """JSON-friendly snapshot for ``/metrics``."""

@@ -10,7 +10,13 @@ Determinism contract: jitter comes from a :class:`random.Random` seeded at
 construction, never the global RNG, and the RNG is only consumed when a
 failure actually occurs — the happy path stays bit-stable.  Sleeping is
 injectable for tests, and a :class:`~repro.serving.deadline.Deadline`
-caps both whether to retry at all and how long a backoff may sleep.
+caps both whether to retry at all and how long a backoff may sleep: a
+backoff is **never allowed to overshoot the remaining budget** (a retry
+that sleeps past the deadline just converts a transient failure into a
+guaranteed deadline miss).  Every time the cap actually binds, the
+policy counts it (:attr:`RetryPolicy.deadline_capped`) and notifies the
+optional ``on_deadline_capped`` hook — ChatIYP wires it to the
+``retry.deadline_capped`` metrics counter.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ class RetryPolicy:
         jitter: float = 0.5,
         seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
+        on_deadline_capped: Optional[Callable[[], None]] = None,
     ) -> None:
         if attempts < 1:
             raise ValueError("attempts must be >= 1")
@@ -50,11 +57,18 @@ class RetryPolicy:
         self._rng = random.Random(seed)
         self._rng_lock = threading.Lock()
         self._retries = 0
+        self._deadline_capped = 0
+        self._on_deadline_capped = on_deadline_capped
 
     @property
     def retries(self) -> int:
         """Total retry sleeps performed (for metrics/tests)."""
         return self._retries
+
+    @property
+    def deadline_capped(self) -> int:
+        """How often a backoff sleep was cut short by the request deadline."""
+        return self._deadline_capped
 
     def _backoff_for(self, attempt: int, deadline: Optional["Deadline"]) -> float:
         base = min(self.backoff_ms * (self.multiplier ** attempt), self.max_backoff_ms)
@@ -62,7 +76,18 @@ class RetryPolicy:
             factor = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
         backoff = base * max(0.0, factor)
         if deadline is not None:
-            backoff = min(backoff, deadline.remaining_ms())
+            remaining = deadline.remaining_ms()
+            if backoff > remaining:
+                # Never sleep past the request budget: the capped retry may
+                # still make it, an overshooting one is a guaranteed miss.
+                backoff = remaining
+                with self._rng_lock:
+                    self._deadline_capped += 1
+                if self._on_deadline_capped is not None:
+                    try:
+                        self._on_deadline_capped()
+                    except Exception:  # noqa: BLE001 - hooks must never break retries
+                        pass
         return backoff
 
     def run(
@@ -81,7 +106,8 @@ class RetryPolicy:
                 final_try = attempt == self.attempts - 1
                 if final_try or (deadline is not None and deadline.expired):
                     raise
-                self._retries += 1
+                with self._rng_lock:
+                    self._retries += 1
                 backoff_ms = self._backoff_for(attempt, deadline)
                 if backoff_ms > 0:
                     self._sleep(backoff_ms / 1000.0)

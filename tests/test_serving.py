@@ -310,6 +310,82 @@ class TestRetryPolicy:
                 policy.run(lambda: (_ for _ in ()).throw(OSError("x")))
         assert sleeps_a == sleeps_b
 
+    def test_backoff_capped_at_remaining_deadline(self):
+        # backoff_ms far exceeds the budget: every retry sleep must be cut
+        # to the remaining budget, never past it, and each cap is counted
+        # and reported through the hook.
+        clock = FakeClock()
+        deadline = Deadline.start(100.0, clock=clock)
+        sleeps = []
+        capped_hook = {"n": 0}
+
+        def hook():
+            capped_hook["n"] += 1
+
+        policy = RetryPolicy(
+            attempts=3,
+            backoff_ms=10_000.0,
+            jitter=0.0,
+            sleep=sleeps.append,
+            on_deadline_capped=hook,
+        )
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert policy.run(flaky, deadline=deadline) == "ok"
+        assert policy.retries == 2
+        # both sleeps were cut to exactly the (un-advanced) remaining 100 ms
+        assert sleeps == [0.1, 0.1]
+        assert policy.deadline_capped == 2
+        assert capped_hook["n"] == 2
+
+    def test_uncapped_backoff_does_not_count(self):
+        clock = FakeClock()
+        deadline = Deadline.start(60_000.0, clock=clock)
+        policy = RetryPolicy(
+            attempts=2, backoff_ms=1.0, jitter=0.0, sleep=lambda s: None
+        )
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise OSError("transient")
+            return "ok"
+
+        assert policy.run(flaky, deadline=deadline) == "ok"
+        assert policy.deadline_capped == 0
+
+    def test_capping_hook_errors_are_swallowed(self):
+        clock = FakeClock()
+        deadline = Deadline.start(10.0, clock=clock)
+
+        def exploding_hook():
+            raise RuntimeError("observer bug")
+
+        policy = RetryPolicy(
+            attempts=2,
+            backoff_ms=10_000.0,
+            jitter=0.0,
+            sleep=lambda s: None,
+            on_deadline_capped=exploding_hook,
+        )
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise OSError("transient")
+            return "ok"
+
+        assert policy.run(flaky, deadline=deadline) == "ok"
+        assert policy.deadline_capped == 1
+
 
 # ---------------------------------------------------------------------------
 # Pipeline integration: degradation, breaker reroute, caching
@@ -492,3 +568,16 @@ class TestAnswerCacheIntegration:
         assert fingerprint_a != fingerprint_b
         bot_a.ask(question)
         assert bot_a.ask(question).diagnostics.get("cache_hit") is True
+
+
+class TestServingSnapshot:
+    def test_snapshot_reports_retry_counters(self, hardened_bot):
+        snapshot = hardened_bot.serving_snapshot()
+        retry = snapshot["retry"]
+        assert retry is not None
+        assert retry["retries"] >= 0
+        assert retry["deadline_capped"] >= 0
+        # breaker/cache are armed on the hardened bot; faults are not
+        assert snapshot["breaker"] is not None
+        assert snapshot["cache"] is not None
+        assert snapshot["faults"] is None
