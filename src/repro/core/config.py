@@ -70,6 +70,11 @@ class ChatIYPConfig:
     # tree (rows + wall-time per operator) under
     # diagnostics["cypher_profile"]. Cheap but chatty; off by default.
     capture_cypher_profile: bool = False
+    # Compile Cypher expressions to Python closures (and fuse hot
+    # Filter->Project chains) instead of walking the AST per row. Purely a
+    # performance knob — results are bit-identical either way; the
+    # interpreter remains the semantic reference and the escape hatch.
+    compile_expressions: bool = True
     # Single-flight coalescing of concurrent duplicate questions: when N
     # identical questions are in flight at once, one executes the pipeline
     # and the rest wait on its result (the concurrent counterpart of the

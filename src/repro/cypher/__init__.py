@@ -8,6 +8,7 @@ Public surface::
     result = engine.run("MATCH (a:AS {asn: $asn}) RETURN a.name", asn=2497)
 """
 
+from .compile import ExpressionCompiler, expression_variables
 from .errors import (
     CypherDeadlineExceeded,
     CypherError,
@@ -35,6 +36,8 @@ from .safety import is_read_only
 __all__ = [
     "CypherEngine",
     "execute",
+    "ExpressionCompiler",
+    "expression_variables",
     "AnchorPlan",
     "MatchPlan",
     "PartPlan",

@@ -1,0 +1,677 @@
+"""Expression compilation: lower expression ASTs into Python closures.
+
+The tree-walking :class:`~repro.cypher.executor._Evaluator` pays a dispatch
+lookup, a method call and an attribute walk per AST node per row.  For the
+RAG hot path — the same generated queries executed over and over — that
+interpretation overhead dominates cheap queries.  This module compiles an
+expression once into a closure ``fn(ctx, row) -> value`` with all constants,
+child closures and name strings pre-resolved, so per-row cost collapses to
+plain Python calls (the data-centric compilation idea from HyPer applied at
+the expression granularity that a pure-Python engine can benefit from).
+
+Semantics are bit-identical to the interpreter by construction:
+
+* the ternary-logic kernels (``binary_operation``, ``compare_once``) live
+  here and are shared with the interpreter, so there is exactly one
+  implementation of arithmetic/comparison semantics;
+* error raising stays lazy — a compiled closure raises exactly when the
+  interpreter would (at evaluation time, never at compile time), so
+  zero-row queries behave identically;
+* pattern-containing expressions (``PatternPredicate``,
+  ``PatternComprehension``, ``EXISTS {}``) fall back to the interpreter,
+  which owns pattern matching.
+
+Compiled closures are cached per AST node (id-keyed, holding the node so
+ids can never dangle) for the lifetime of the :class:`ExpressionCompiler`,
+which the engine shares across executions alongside its plan cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional
+
+from ..graph.model import Node, Relationship
+from . import ast_nodes as ast
+from .errors import CypherRuntimeError, CypherSyntaxError, CypherTypeError
+from .functions import call_scalar, is_aggregate_function, regex_match
+from .values import cypher_compare, cypher_equals, is_truthy
+
+__all__ = [
+    "ExpressionCompiler",
+    "binary_operation",
+    "compare_once",
+    "expression_variables",
+]
+
+#: A compiled expression: called with the execution context and a row dict.
+CompiledExpr = Callable[[Any, dict[str, Any]], Any]
+
+
+# ---------------------------------------------------------------------------
+# Shared semantic kernels (single source of truth for the interpreter too)
+# ---------------------------------------------------------------------------
+
+def math_fmod(left: float | int, right: float | int) -> float | int:
+    """Cypher ``%``: sign follows the dividend, ints stay ints."""
+    result = abs(left) % abs(right)
+    if left < 0:
+        result = -result
+    if isinstance(left, int) and isinstance(right, int):
+        return int(result)
+    return float(result)
+
+
+def concat_text(value: Any) -> str:
+    """Render a value for string concatenation the way Neo4j does."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return f"{value:.1f}"
+    return str(value)
+
+
+def binary_operation(op: str, left: Any, right: Any) -> Any:
+    """Cypher arithmetic on two already-evaluated operands."""
+    if left is None or right is None:
+        return None
+    if op == "+":
+        if isinstance(left, str) and isinstance(right, str):
+            return left + right
+        if isinstance(left, list) and isinstance(right, list):
+            return left + right
+        if isinstance(left, list):
+            return left + [right]
+        if isinstance(right, list):
+            return [left] + right
+        if isinstance(left, str) or isinstance(right, str):
+            # Neo4j allows string + number concatenation
+            return f"{concat_text(left)}{concat_text(right)}"
+    if isinstance(left, bool) or isinstance(right, bool):
+        raise CypherTypeError(f"operator {op} does not accept booleans")
+    if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+        raise CypherTypeError(f"operator {op} expects numbers, got {left!r}, {right!r}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            if isinstance(left, int) and isinstance(right, int):
+                raise CypherRuntimeError("integer division by zero")
+            return float("inf") if left > 0 else float("-inf") if left < 0 else float("nan")
+        if isinstance(left, int) and isinstance(right, int):
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise CypherRuntimeError("modulo by zero")
+        return math_fmod(left, right)
+    if op == "^":
+        return float(left) ** float(right)
+    raise CypherRuntimeError(f"unknown operator {op}")
+
+
+def compare_once(op: str, left: Any, right: Any) -> Optional[bool]:
+    """One ternary-logic comparison step on already-evaluated operands."""
+    if op == "=":
+        return cypher_equals(left, right)
+    if op == "<>":
+        equal = cypher_equals(left, right)
+        return None if equal is None else not equal
+    if op == "=~":
+        if left is None or right is None:
+            return None
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise CypherTypeError("=~ expects string operands")
+        return regex_match(left, right)
+    comparison = cypher_compare(left, right)
+    if comparison is None:
+        return None
+    if op == "<":
+        return comparison < 0
+    if op == ">":
+        return comparison > 0
+    if op == "<=":
+        return comparison <= 0
+    if op == ">=":
+        return comparison >= 0
+    raise CypherRuntimeError(f"unknown comparison {op}")
+
+
+# ---------------------------------------------------------------------------
+# Variable discovery (used by the sort-key reuse guard)
+# ---------------------------------------------------------------------------
+
+#: dataclass string fields that name variables a pattern/comprehension binds
+#: or references; collected conservatively (extra names only disable a reuse
+#: optimisation, never change results).
+_NAME_FIELDS = frozenset({"variable", "path_variable", "accumulator"})
+
+
+def expression_variables(expr: Any) -> frozenset[str]:
+    """Every variable name ``expr`` may read (conservative over-estimate)."""
+    names: set[str] = set()
+    _collect_variables(expr, names)
+    return frozenset(names)
+
+
+def _collect_variables(obj: Any, names: set[str]) -> None:
+    if isinstance(obj, ast.Variable):
+        names.add(obj.name)
+        return
+    if isinstance(obj, (tuple, list)):
+        for item in obj:
+            _collect_variables(item, names)
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for field in dataclasses.fields(obj):
+            value = getattr(obj, field.name)
+            if isinstance(value, str):
+                if field.name in _NAME_FIELDS:
+                    names.add(value)
+                continue
+            _collect_variables(value, names)
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+class ExpressionCompiler:
+    """Compiles expression ASTs to closures, caching per AST node.
+
+    One instance lives on the engine (``CypherEngine.compiler``) so cached
+    query trees keep their compiled closures across executions.  Counters
+    feed the engine's ``compile.*`` metrics.
+    """
+
+    def __init__(self) -> None:
+        # id(expr) -> (expr, fn); holding the node keeps its id stable
+        self._cache: dict[int, tuple[ast.Expr, CompiledExpr]] = {}
+        # id(pattern) -> (pattern, ((key, fn), ...)) for inline {k: v} maps
+        self._props_cache: dict[int, tuple[Any, tuple[tuple[str, CompiledExpr], ...]]] = {}
+        #: closures built (one per distinct AST node compiled)
+        self.compiled = 0
+        #: cache hits (an already-compiled node requested again)
+        self.cache_hits = 0
+        #: nodes lowered to an interpreter fallback (pattern expressions)
+        self.fallbacks = 0
+
+    def metrics(self) -> dict[str, int]:
+        return {
+            "compile.compiled": self.compiled,
+            "compile.cache_hits": self.cache_hits,
+            "compile.fallbacks": self.fallbacks,
+        }
+
+    # -- entry points ---------------------------------------------------
+
+    def compile(self, expr: ast.Expr) -> CompiledExpr:
+        """The closure for ``expr`` (cached)."""
+        cached = self._cache.get(id(expr))
+        if cached is not None and cached[0] is expr:
+            self.cache_hits += 1
+            return cached[1]
+        fn = self._build(expr)
+        if len(self._cache) > 8192:
+            self._cache.clear()
+        self._cache[id(expr)] = (expr, fn)
+        return fn
+
+    def pattern_props(
+        self, obj: ast.NodePattern | ast.RelPattern
+    ) -> tuple[tuple[str, CompiledExpr], ...]:
+        """Compiled ``(key, fn)`` pairs for a pattern's inline properties."""
+        cached = self._props_cache.get(id(obj))
+        if cached is not None and cached[0] is obj:
+            return cached[1]
+        compiled = tuple((key, self.compile(expr)) for key, expr in obj.properties)
+        if len(self._props_cache) > 4096:
+            self._props_cache.clear()
+        self._props_cache[id(obj)] = (obj, compiled)
+        return compiled
+
+    # -- builders -------------------------------------------------------
+
+    def _build(self, expr: ast.Expr) -> CompiledExpr:
+        builder = _BUILDERS.get(expr.__class__)
+        if builder is None:
+            return self._fallback(expr)
+        self.compiled += 1
+        return builder(self, expr)
+
+    def _fallback(self, expr: ast.Expr) -> CompiledExpr:
+        """Interpreter fallback for pattern expressions and unknown nodes."""
+        self.fallbacks += 1
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            return ctx.evaluator.evaluate(expr, row)
+
+        return fn
+
+    def _build_Literal(self, expr: ast.Literal) -> CompiledExpr:
+        value = expr.value
+        return lambda ctx, row: value
+
+    def _build_Parameter(self, expr: ast.Parameter) -> CompiledExpr:
+        name = expr.name
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            params = ctx.params
+            if name not in params:
+                raise CypherRuntimeError(f"missing parameter: ${name}")
+            return params[name]
+
+        return fn
+
+    def _build_Variable(self, expr: ast.Variable) -> CompiledExpr:
+        name = expr.name
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            try:
+                return row[name]
+            except KeyError:
+                raise CypherRuntimeError(f"unknown variable: {name}") from None
+
+        return fn
+
+    def _build_PropertyAccess(self, expr: ast.PropertyAccess) -> CompiledExpr:
+        key = expr.key
+        subject_expr = expr.subject
+        if subject_expr.__class__ is ast.Variable:
+            # The overwhelmingly common shape ``n.prop``: one fused closure.
+            name = subject_expr.name
+
+            def fn(ctx: Any, row: dict[str, Any]) -> Any:
+                try:
+                    subject = row[name]
+                except KeyError:
+                    raise CypherRuntimeError(f"unknown variable: {name}") from None
+                if subject is None:
+                    return None
+                if isinstance(subject, (Node, Relationship)):
+                    return subject.properties.get(key)
+                if isinstance(subject, dict):
+                    return subject.get(key)
+                raise CypherTypeError(
+                    f"cannot access property {key!r} on {type(subject).__name__}"
+                )
+
+            return fn
+        subject_fn = self.compile(subject_expr)
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            subject = subject_fn(ctx, row)
+            if subject is None:
+                return None
+            if isinstance(subject, (Node, Relationship)):
+                return subject.properties.get(key)
+            if isinstance(subject, dict):
+                return subject.get(key)
+            raise CypherTypeError(
+                f"cannot access property {key!r} on {type(subject).__name__}"
+            )
+
+        return fn
+
+    def _build_Subscript(self, expr: ast.Subscript) -> CompiledExpr:
+        subject_fn = self.compile(expr.subject)
+        index_fn = self.compile(expr.index)
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            subject = subject_fn(ctx, row)
+            index = index_fn(ctx, row)
+            if subject is None or index is None:
+                return None
+            if isinstance(subject, list):
+                if isinstance(index, bool) or not isinstance(index, int):
+                    raise CypherTypeError(f"list index must be an integer, got {index!r}")
+                if -len(subject) <= index < len(subject):
+                    return subject[index]
+                return None
+            if isinstance(subject, dict):
+                return subject.get(index)
+            if isinstance(subject, (Node, Relationship)):
+                return subject.properties.get(index)
+            raise CypherTypeError(f"cannot subscript {type(subject).__name__}")
+
+        return fn
+
+    def _build_Slice(self, expr: ast.Slice) -> CompiledExpr:
+        subject_fn = self.compile(expr.subject)
+        start_fn = self.compile(expr.start) if expr.start is not None else None
+        end_fn = self.compile(expr.end) if expr.end is not None else None
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            subject = subject_fn(ctx, row)
+            if subject is None:
+                return None
+            if not isinstance(subject, list):
+                raise CypherTypeError("slicing requires a list")
+            start = start_fn(ctx, row) if start_fn is not None else None
+            end = end_fn(ctx, row) if end_fn is not None else None
+            return subject[start:end]
+
+        return fn
+
+    def _build_ListLiteral(self, expr: ast.ListLiteral) -> CompiledExpr:
+        item_fns = tuple(self.compile(item) for item in expr.items)
+        return lambda ctx, row: [fn(ctx, row) for fn in item_fns]
+
+    def _build_MapLiteral(self, expr: ast.MapLiteral) -> CompiledExpr:
+        pairs = tuple((key, self.compile(value)) for key, value in expr.items)
+        return lambda ctx, row: {key: fn(ctx, row) for key, fn in pairs}
+
+    def _build_UnaryOp(self, expr: ast.UnaryOp) -> CompiledExpr:
+        op = expr.op
+        negate = op == "-"
+        operand_fn = self.compile(expr.operand)
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            value = operand_fn(ctx, row)
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise CypherTypeError(f"unary {op} expects a number, got {value!r}")
+            return -value if negate else +value
+
+        return fn
+
+    def _build_BinaryOp(self, expr: ast.BinaryOp) -> CompiledExpr:
+        op = expr.op
+        left_fn = self.compile(expr.left)
+        right_fn = self.compile(expr.right)
+        # Left operand is evaluated before the right, like the interpreter.
+        return lambda ctx, row: binary_operation(op, left_fn(ctx, row), right_fn(ctx, row))
+
+    def _build_Comparison(self, expr: ast.Comparison) -> CompiledExpr:
+        operand_fns = tuple(self.compile(operand) for operand in expr.operands)
+        ops = expr.ops
+        if len(operand_fns) == 2:
+            op = ops[0]
+            left_fn, right_fn = operand_fns
+            return lambda ctx, row: compare_once(op, left_fn(ctx, row), right_fn(ctx, row))
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Optional[bool]:
+            values = [operand_fn(ctx, row) for operand_fn in operand_fns]
+            result: Optional[bool] = True
+            for op, left, right in zip(ops, values, values[1:]):
+                outcome = compare_once(op, left, right)
+                if outcome is False:
+                    return False
+                if outcome is None:
+                    result = None
+            return result
+
+        return fn
+
+    def _build_BooleanOp(self, expr: ast.BooleanOp) -> CompiledExpr:
+        operand_fns = tuple(self.compile(operand) for operand in expr.operands)
+        if expr.op == "AND":
+
+            def fn(ctx: Any, row: dict[str, Any]) -> Optional[bool]:
+                saw_null = False
+                for operand_fn in operand_fns:
+                    value = is_truthy(operand_fn(ctx, row))
+                    if value is False:
+                        return False
+                    if value is None:
+                        saw_null = True
+                return None if saw_null else True
+
+            return fn
+        if expr.op == "OR":
+
+            def fn(ctx: Any, row: dict[str, Any]) -> Optional[bool]:
+                saw_null = False
+                for operand_fn in operand_fns:
+                    value = is_truthy(operand_fn(ctx, row))
+                    if value is True:
+                        return True
+                    if value is None:
+                        saw_null = True
+                return None if saw_null else False
+
+            return fn
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Optional[bool]:
+            result: Optional[bool] = False
+            for operand_fn in operand_fns:
+                value = is_truthy(operand_fn(ctx, row))
+                if value is None:
+                    return None
+                result = bool(result) ^ value
+            return result
+
+        return fn
+
+    def _build_NotOp(self, expr: ast.NotOp) -> CompiledExpr:
+        operand_fn = self.compile(expr.operand)
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Optional[bool]:
+            value = is_truthy(operand_fn(ctx, row))
+            return None if value is None else not value
+
+        return fn
+
+    def _build_IsNull(self, expr: ast.IsNull) -> CompiledExpr:
+        operand_fn = self.compile(expr.operand)
+        if expr.negated:
+            return lambda ctx, row: operand_fn(ctx, row) is not None
+        return lambda ctx, row: operand_fn(ctx, row) is None
+
+    def _build_StringPredicate(self, expr: ast.StringPredicate) -> CompiledExpr:
+        left_fn = self.compile(expr.left)
+        right_fn = self.compile(expr.right)
+        op = expr.op
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Optional[bool]:
+            left = left_fn(ctx, row)
+            right = right_fn(ctx, row)
+            if left is None or right is None:
+                return None
+            if not isinstance(left, str) or not isinstance(right, str):
+                return None
+            if op == "STARTS":
+                return left.startswith(right)
+            if op == "ENDS":
+                return left.endswith(right)
+            return right in left
+
+        return fn
+
+    def _build_InList(self, expr: ast.InList) -> CompiledExpr:
+        value_fn = self.compile(expr.value)
+        container_fn = self.compile(expr.container)
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Optional[bool]:
+            value = value_fn(ctx, row)
+            container = container_fn(ctx, row)
+            if container is None:
+                return None
+            if not isinstance(container, list):
+                raise CypherTypeError(f"IN expects a list, got {container!r}")
+            saw_null = False
+            for item in container:
+                equal = cypher_equals(value, item)
+                if equal is True:
+                    return True
+                if equal is None:
+                    saw_null = True
+            return None if saw_null else False
+
+        return fn
+
+    def _build_CaseExpr(self, expr: ast.CaseExpr) -> CompiledExpr:
+        whens = tuple(
+            (self.compile(condition), self.compile(result))
+            for condition, result in expr.whens
+        )
+        default_fn = self.compile(expr.default) if expr.default is not None else None
+        if expr.subject is not None:
+            subject_fn = self.compile(expr.subject)
+
+            def fn(ctx: Any, row: dict[str, Any]) -> Any:
+                subject = subject_fn(ctx, row)
+                for condition_fn, result_fn in whens:
+                    if cypher_equals(subject, condition_fn(ctx, row)) is True:
+                        return result_fn(ctx, row)
+                return default_fn(ctx, row) if default_fn is not None else None
+
+            return fn
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            for condition_fn, result_fn in whens:
+                if is_truthy(condition_fn(ctx, row)) is True:
+                    return result_fn(ctx, row)
+            return default_fn(ctx, row) if default_fn is not None else None
+
+        return fn
+
+    def _build_ListComprehension(self, expr: ast.ListComprehension) -> CompiledExpr:
+        source_fn = self.compile(expr.source)
+        variable = expr.variable
+        predicate_fn = self.compile(expr.predicate) if expr.predicate is not None else None
+        projection_fn = self.compile(expr.projection) if expr.projection is not None else None
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            source = source_fn(ctx, row)
+            if source is None:
+                return None
+            if not isinstance(source, list):
+                raise CypherTypeError("list comprehension requires a list source")
+            output = []
+            for item in source:
+                inner = dict(row)
+                inner[variable] = item
+                if predicate_fn is not None:
+                    if is_truthy(predicate_fn(ctx, inner)) is not True:
+                        continue
+                if projection_fn is not None:
+                    output.append(projection_fn(ctx, inner))
+                else:
+                    output.append(item)
+            return output
+
+        return fn
+
+    def _build_Quantifier(self, expr: ast.Quantifier) -> CompiledExpr:
+        source_fn = self.compile(expr.source)
+        predicate_fn = self.compile(expr.predicate)
+        variable = expr.variable
+        kind = expr.kind
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Optional[bool]:
+            source = source_fn(ctx, row)
+            if source is None:
+                return None
+            if not isinstance(source, list):
+                raise CypherTypeError(f"{kind}() requires a list, got {source!r}")
+            trues = falses = nulls = 0
+            for item in source:
+                inner = dict(row)
+                inner[variable] = item
+                outcome = is_truthy(predicate_fn(ctx, inner))
+                if outcome is True:
+                    trues += 1
+                elif outcome is False:
+                    falses += 1
+                else:
+                    nulls += 1
+            if kind == "any":
+                if trues > 0:
+                    return True
+                return None if nulls else False
+            if kind == "all":
+                if falses > 0:
+                    return False
+                return None if nulls else True
+            if kind == "none":
+                if trues > 0:
+                    return False
+                return None if nulls else True
+            # single: exactly one true
+            if nulls:
+                return None
+            return trues == 1
+
+        return fn
+
+    def _build_Reduce(self, expr: ast.Reduce) -> CompiledExpr:
+        source_fn = self.compile(expr.source)
+        initial_fn = self.compile(expr.initial)
+        expression_fn = self.compile(expr.expression)
+        accumulator_name = expr.accumulator
+        variable = expr.variable
+
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            source = source_fn(ctx, row)
+            if source is None:
+                return None
+            if not isinstance(source, list):
+                raise CypherTypeError(f"reduce() requires a list, got {source!r}")
+            accumulator = initial_fn(ctx, row)
+            for item in source:
+                inner = dict(row)
+                inner[accumulator_name] = accumulator
+                inner[variable] = item
+                accumulator = expression_fn(ctx, inner)
+            return accumulator
+
+        return fn
+
+    def _build_CountStar(self, expr: ast.CountStar) -> CompiledExpr:
+        # Raised lazily so zero-row queries behave like the interpreter.
+        def fn(ctx: Any, row: dict[str, Any]) -> Any:
+            raise CypherSyntaxError("count(*) is only allowed in a projection")
+
+        return fn
+
+    def _build_FunctionCall(self, expr: ast.FunctionCall) -> CompiledExpr:
+        name = expr.name
+        if is_aggregate_function(name):
+
+            def fn(ctx: Any, row: dict[str, Any]) -> Any:
+                raise CypherSyntaxError(
+                    f"aggregate function {name}() is only allowed in a projection"
+                )
+
+            return fn
+        arg_fns = tuple(self.compile(arg) for arg in expr.args)
+        # call_scalar resolves the function by name at call time, so
+        # test doubles patched into SCALAR_FUNCTIONS keep working.
+        return lambda ctx, row: call_scalar(
+            ctx.store, name, [arg_fn(ctx, row) for arg_fn in arg_fns]
+        )
+
+
+_BUILDERS: dict[type, Callable[[ExpressionCompiler, Any], CompiledExpr]] = {
+    ast.Literal: ExpressionCompiler._build_Literal,
+    ast.Parameter: ExpressionCompiler._build_Parameter,
+    ast.Variable: ExpressionCompiler._build_Variable,
+    ast.PropertyAccess: ExpressionCompiler._build_PropertyAccess,
+    ast.Subscript: ExpressionCompiler._build_Subscript,
+    ast.Slice: ExpressionCompiler._build_Slice,
+    ast.ListLiteral: ExpressionCompiler._build_ListLiteral,
+    ast.MapLiteral: ExpressionCompiler._build_MapLiteral,
+    ast.UnaryOp: ExpressionCompiler._build_UnaryOp,
+    ast.BinaryOp: ExpressionCompiler._build_BinaryOp,
+    ast.Comparison: ExpressionCompiler._build_Comparison,
+    ast.BooleanOp: ExpressionCompiler._build_BooleanOp,
+    ast.NotOp: ExpressionCompiler._build_NotOp,
+    ast.IsNull: ExpressionCompiler._build_IsNull,
+    ast.StringPredicate: ExpressionCompiler._build_StringPredicate,
+    ast.InList: ExpressionCompiler._build_InList,
+    ast.CaseExpr: ExpressionCompiler._build_CaseExpr,
+    ast.ListComprehension: ExpressionCompiler._build_ListComprehension,
+    ast.Quantifier: ExpressionCompiler._build_Quantifier,
+    ast.Reduce: ExpressionCompiler._build_Reduce,
+    ast.CountStar: ExpressionCompiler._build_CountStar,
+    ast.FunctionCall: ExpressionCompiler._build_FunctionCall,
+    # PatternPredicate / PatternComprehension / ExistsExpr intentionally
+    # absent: they need the context's pattern matcher (interpreter fallback).
+}

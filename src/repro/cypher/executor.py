@@ -33,13 +33,13 @@ from ..graph.model import Node, Path, Relationship
 from ..graph.store import GraphStore
 from . import ast_nodes as ast
 from . import operators as ops
+from .compile import ExpressionCompiler, binary_operation, compare_once
 from .errors import CypherRuntimeError, CypherSyntaxError, CypherTypeError
 from .functions import (
     call_aggregate,
     call_scalar,
     is_aggregate_function,
     percentile,
-    regex_match,
 )
 from .operators import (
     RuntimeState,
@@ -101,6 +101,39 @@ class _PlanEntry:
     tree: ast.Query
     stats_version: int
     plans: dict[int, MatchPlan] = field(default_factory=dict)
+    #: compiled single-node point-lookup fast path (None = shape ineligible)
+    fastpath: Any = None
+    fastpath_ready: bool = False
+
+
+@dataclass
+class _FastPath:
+    """A fully-anchored ``MATCH ... RETURN ...`` compiled to closures.
+
+    Cached on the :class:`_PlanEntry`, so repeated executions of the same
+    query text skip operator-tree construction entirely and run a flat
+    bind → WHERE → project loop.  Only eligible shapes whose per-row
+    pipeline is exactly that sequence are built (no ORDER BY, DISTINCT,
+    aggregation, OPTIONAL or multi-part patterns), so output — including
+    error order — matches the operator tree row for row.
+    """
+
+    elements: list
+    anchor: AnchorPlan
+    filters: Optional[Filters]
+    maintain_used: bool
+    where_fn: Any
+    item_fns: tuple
+    keys: list[str]
+    skip_expr: Optional[ast.Expr]
+    limit_expr: Optional[ast.Expr]
+    # Single-element specialization: the checks _bind_node would repeat per
+    # candidate, pre-split so the hot loop only runs the ones the anchor's
+    # access path doesn't already guarantee.
+    variable: Optional[str] = None
+    check_labels: tuple = ()
+    prop_fns: tuple = ()
+    var_filters: Any = None
 
 
 class CypherEngine:
@@ -120,17 +153,33 @@ class CypherEngine:
         planner: bool = True,
         cache_size: int = 1024,
         row_budget: Optional[int] = None,
+        compile_expressions: bool = True,
     ) -> None:
         self.store = store
         self.max_var_length = max_var_length
         self.planner = planner
         #: default intermediate-row budget for every execution (None = off)
         self.row_budget = row_budget
+        #: expression compiler shared across executions (None = interpret)
+        self.compiler = ExpressionCompiler() if compile_expressions else None
+        self._fastpath_hits = 0
+        self._fused_operators = 0
         self._ast_cache: _LRUCache = _LRUCache(cache_size)
         self._plan_cache: _LRUCache = _LRUCache(cache_size)
         # id(clause) -> (clause, items, keys, aggregated, grouping_indices);
         # holding the clause reference keeps its id stable for the cache key
         self._projection_meta: dict[int, tuple] = {}
+
+    def compile_metrics(self) -> dict[str, int]:
+        """Expression-compilation counters for the metrics registry."""
+        metrics = (
+            self.compiler.metrics()
+            if self.compiler is not None
+            else {"compile.compiled": 0, "compile.cache_hits": 0, "compile.fallbacks": 0}
+        )
+        metrics["compile.fastpath_hits"] = self._fastpath_hits
+        metrics["compile.fused_operators"] = self._fused_operators
+        return metrics
 
     def run(self, query: str, **params: Any) -> ResultSet:
         """Parse and plan (both cached) then execute ``query``."""
@@ -166,13 +215,29 @@ class CypherEngine:
         if tree is None:
             tree = parse(query)
             self._ast_cache[query] = tree
-        plans = self._plans_for(query, tree)
+        entry = self._entry_for(query, tree)
+        plans = entry.plans if entry is not None else None
+        budget = row_budget if row_budget is not None else self.row_budget
+        if (
+            entry is not None
+            and self.compiler is not None
+            and not profile
+            and deadline is None
+            and budget is None
+        ):
+            # Fully-anchored point lookups skip operator-tree construction
+            # entirely; the shape check is cached on the plan entry.
+            if not entry.fastpath_ready:
+                entry.fastpath = self._build_fastpath(tree, entry.plans)
+                entry.fastpath_ready = True
+            if entry.fastpath is not None:
+                return self._run_fastpath(entry.fastpath, params or {})
         result, root = self._execute(
             tree,
             params or {},
             plans,
             deadline=deadline,
-            row_budget=row_budget if row_budget is not None else self.row_budget,
+            row_budget=budget,
             profiled=profile,
         )
         if profile:
@@ -187,6 +252,11 @@ class CypherEngine:
 
     def _plans_for(self, query: str, tree: ast.Query) -> Optional[dict[int, MatchPlan]]:
         """Cached match plans for ``query``, replanned when the graph changed."""
+        entry = self._entry_for(query, tree)
+        return entry.plans if entry is not None else None
+
+    def _entry_for(self, query: str, tree: ast.Query) -> Optional[_PlanEntry]:
+        """The cached plan entry for ``query``, replanned when the graph changed."""
         if not self.planner:
             return None
         version = self.store.stats_version
@@ -198,7 +268,7 @@ class CypherEngine:
                 plans=plan_query(tree, self.store.statistics()),
             )
             self._plan_cache[query] = entry
-        return entry.plans
+        return entry
 
     def _execute(
         self,
@@ -216,7 +286,8 @@ class CypherEngine:
         ``PROFILE`` rendering and the ``cypher_profile`` diagnostics).
         """
         context = _ExecutionContext(
-            self.store, params, self.max_var_length, plans, self._projection_meta
+            self.store, params, self.max_var_length, plans, self._projection_meta,
+            self.compiler,
         )
         state = RuntimeState(deadline=deadline, budget=row_budget, profiled=profiled)
         state.check_deadline()
@@ -229,7 +300,9 @@ class CypherEngine:
             keys = root.keys or []
         finally:
             root.close()
-        records = [Record(keys, values) for values in rows]
+        # Adopt-without-copy: each values list is single-owner and the keys
+        # list is shared read-only across every record of the result.
+        records = [Record.of(keys, values) for values in rows]
         return ResultSet(keys, records, **context.counters()), root
 
     def profile(self, query: str, **params: Any) -> tuple[ResultSet, str]:
@@ -265,8 +338,25 @@ class CypherEngine:
         for qindex, single in enumerate(queries):
             if len(queries) > 1:
                 lines.append(f"UNION branch {qindex + 1}:")
+            pending_filter = False
             for clause in single.clauses:
-                lines.extend(self._explain_clause(clause, plans))
+                clause_lines = self._explain_clause(clause, plans)
+                if (
+                    pending_filter
+                    and isinstance(clause, ast.ProjectionClause)
+                    and not clause.star
+                    and not any(_contains_aggregate(i.expression) for i in clause.items)
+                ):
+                    # The compiled WHERE filter and this projection execute
+                    # as one FusedFilterProject operator.
+                    clause_lines[-1] += " [fused]"
+                pending_filter = (
+                    self.compiler is not None
+                    and isinstance(clause, ast.MatchClause)
+                    and not clause.optional
+                    and clause.where is not None
+                )
+                lines.extend(clause_lines)
         return "\n".join(lines)
 
     def _explain_clause(
@@ -293,7 +383,8 @@ class CypherEngine:
                             op = "STARTS WITH"
                         lines.append(f"  Pushdown {variable}.{filt.key} {op} ...")
             if clause.where is not None:
-                lines.append("  Filter (WHERE)")
+                marker = " [compiled]" if self.compiler is not None else ""
+                lines.append(f"  Filter (WHERE){marker}")
             return lines
         if isinstance(clause, ast.ProjectionClause):
             detail = []
@@ -553,7 +644,28 @@ class CypherEngine:
                     meta=(items, keys, aggregated, grouping),
                 )
             else:
-                projection = ops.Project(state, child, context, items, keys)
+                # Fuse an adjacent chain of compiled Filters into the
+                # projection: one callable per row instead of one operator
+                # wrapper (budget charge, deadline stride, timer) apiece.
+                fused_child = child
+                predicate_fns: list = []
+                while (
+                    isinstance(fused_child, ops.Filter)
+                    and fused_child.predicate_fn is not None
+                    and not fused_child.pairs_in
+                ):
+                    predicate_fns.append(fused_child.predicate_fn)
+                    fused_child = fused_child.children[0]
+                if predicate_fns:
+                    predicate_fns.reverse()  # innermost filter evaluates first
+                    item_fns = tuple(context.compile(item.expression) for item in items)
+                    projection = ops.FusedFilterProject(
+                        state, fused_child, context, items, keys,
+                        tuple(predicate_fns), item_fns,
+                    )
+                    self._fused_operators += 1
+                else:
+                    projection = ops.Project(state, child, context, items, keys)
         op: ops.PhysicalOperator = projection
         if clause.distinct:
             op = ops.Distinct(state, (op,))
@@ -676,6 +788,177 @@ class CypherEngine:
             needed += context._bounded_int(ret.skip, "SKIP")
         return needed
 
+    # -- point-lookup fast path -------------------------------------------
+
+    def _build_fastpath(
+        self, tree: ast.Query, plans: dict[int, MatchPlan]
+    ) -> Optional[_FastPath]:
+        """Compile an eligible ``MATCH ... RETURN ...`` into a :class:`_FastPath`.
+
+        Returns None whenever any part of the query needs operator
+        machinery beyond a flat bind → WHERE → project loop.
+        """
+        if not isinstance(tree, ast.SingleQuery) or len(tree.clauses) != 2:
+            return None
+        match, ret = tree.clauses
+        if not isinstance(match, ast.MatchClause) or not isinstance(ret, ast.ReturnClause):
+            return None
+        if match.optional or len(match.pattern.parts) != 1:
+            return None
+        part = match.pattern.parts[0]
+        if part.shortest is not None or part.path_variable is not None:
+            return None
+        if ret.star or ret.distinct or ret.order_by:
+            return None
+        meta = self._projection_meta.get(id(ret))
+        if meta is None:
+            items, keys, aggregated, grouping = ops.derive_projection(ret, [])
+            if len(self._projection_meta) > 4096:
+                self._projection_meta.clear()
+            self._projection_meta[id(ret)] = (ret, items, keys, aggregated, grouping)
+        else:
+            _, items, keys, aggregated, grouping = meta
+        if aggregated:
+            return None
+        plan = plans.get(id(match))
+        if plan is None:
+            return None
+        part_plan = plan.parts[0]
+        if part_plan.anchor.kind == "bound":
+            return None
+        elements = list(part.elements)
+        if part_plan.reverse:
+            elements = _reverse_elements(elements)
+        compiler = self.compiler
+        anchor = part_plan.anchor
+        first = elements[0]
+        variable = None
+        check_labels: tuple = ()
+        prop_fns: tuple = ()
+        var_filters = None
+        if len(elements) == 1:
+            variable = first.variable
+            # Every anchor access path except "all" yields nodes already
+            # scoped to anchor.label; only the other labels need rechecking
+            # per candidate.
+            guaranteed = {anchor.label} if anchor.kind != "all" else set()
+            check_labels = tuple(
+                label for label in first.labels if label not in guaranteed
+            )
+            if first.properties:
+                prop_fns = compiler.pattern_props(first)
+            if plan.filters and variable is not None:
+                var_filters = plan.filters.get(variable)
+        return _FastPath(
+            elements=elements,
+            anchor=anchor,
+            filters=plan.filters,
+            maintain_used=part_plan.needs_used,
+            where_fn=compiler.compile(match.where) if match.where is not None else None,
+            item_fns=tuple(compiler.compile(item.expression) for item in items),
+            keys=keys,
+            skip_expr=ret.skip,
+            limit_expr=ret.limit,
+            variable=variable,
+            check_labels=check_labels,
+            prop_fns=prop_fns,
+            var_filters=var_filters,
+        )
+
+    def _run_fastpath(self, fp: _FastPath, params: dict[str, Any]) -> ResultSet:
+        """Run a compiled :class:`_FastPath`: flat bind → WHERE → project.
+
+        Mirrors the operator pipeline's evaluation order exactly: SKIP and
+        LIMIT evaluate before any matching (as the lowering does), the
+        projection still runs for skipped rows (the ``Skip`` operator
+        discards post-projection entries), and ``LIMIT 0`` pulls nothing
+        upstream.
+        """
+        ctx = _ExecutionContext(
+            self.store, params, self.max_var_length, None, self._projection_meta,
+            self.compiler,
+        )
+        skip = ctx._bounded_int(fp.skip_expr, "SKIP") if fp.skip_expr is not None else 0
+        limit = (
+            ctx._bounded_int(fp.limit_expr, "LIMIT")
+            if fp.limit_expr is not None
+            else None
+        )
+        self._fastpath_hits += 1
+        keys = fp.keys
+        if limit == 0:
+            return ResultSet(keys, [], **ctx.counters())
+        needed = None if limit is None else skip + limit
+        where_fn = fp.where_fn
+        item_fns = fp.item_fns
+        first = fp.elements[0]
+        values_rows: list[list[Any]] = []
+        empty: Row = {}
+        if len(fp.elements) == 1:
+            # Inlined _bind_node: the anchor access path already guarantees
+            # its own label, and pattern properties only see params here (the
+            # row is empty), so their values are evaluated once — lazily, on
+            # the first candidate, so an empty access path raises exactly
+            # where the generic path would (never).
+            var = fp.variable
+            check_labels = fp.check_labels
+            prop_fns = fp.prop_fns
+            var_filters = fp.var_filters
+            wanted: Optional[list] = None
+            for node in ctx._node_candidates(first, empty, fp.anchor):
+                if check_labels:
+                    matched = True
+                    for label in check_labels:
+                        if label not in node.labels:
+                            matched = False
+                            break
+                    if not matched:
+                        continue
+                if prop_fns:
+                    if wanted is None:
+                        wanted = [(key, fn(ctx, empty)) for key, fn in prop_fns]
+                    properties = node.properties
+                    matched = True
+                    for key, want in wanted:
+                        if cypher_equals(properties.get(key), want) is not True:
+                            matched = False
+                            break
+                    if not matched:
+                        continue
+                if var_filters is not None and not ctx._passes_filters(
+                    node.properties, var_filters
+                ):
+                    continue
+                row = {var: node} if var is not None else empty
+                if where_fn is not None and is_truthy(where_fn(ctx, row)) is not True:
+                    continue
+                values_rows.append([fn(ctx, row) for fn in item_fns])
+                if needed is not None and len(values_rows) >= needed:
+                    break
+        else:
+            buffer: list = []
+            done = False
+            for start in ctx._node_candidates(first, empty, fp.anchor):
+                start_row = ctx._bind_node(first, start, empty, fp.filters)
+                if start_row is None:
+                    continue
+                buffer.clear()
+                ctx._match_chain(
+                    fp.elements, 1, start_row, frozenset(), start, None, None,
+                    fp.filters, fp.maintain_used, buffer,
+                )
+                for row, _used in buffer:
+                    if where_fn is not None and is_truthy(where_fn(ctx, row)) is not True:
+                        continue
+                    values_rows.append([fn(ctx, row) for fn in item_fns])
+                    if needed is not None and len(values_rows) >= needed:
+                        done = True
+                        break
+                if done:
+                    break
+        records = [Record.of(keys, values) for values in values_rows[skip:]]
+        return ResultSet(keys, records, **ctx.counters())
+
 
 # ---------------------------------------------------------------------------
 # Execution context: clause operators
@@ -691,14 +974,19 @@ class _ExecutionContext:
         max_var_length: int,
         plans: Optional[dict[int, MatchPlan]] = None,
         projection_meta: Optional[dict[int, tuple]] = None,
+        compiler: Optional[ExpressionCompiler] = None,
     ):
         self.store = store
         self.params = params
         self.max_var_length = max_var_length
         self.plans = plans
+        self.compiler = compiler
         self.evaluator = _Evaluator(self)
         # id(part) -> whether the part needs used-relationship tracking
         self._part_unique: dict[int, bool] = {}
+        # id(expr) -> value for pushed-filter expressions; those are
+        # Literal/Parameter only, so their value is fixed per execution
+        self._filter_values: dict[int, Any] = {}
         # engine-shared projection metadata cache (see CypherEngine)
         self._projection_meta = projection_meta if projection_meta is not None else {}
         self.nodes_created = 0
@@ -706,6 +994,22 @@ class _ExecutionContext:
         self.properties_set = 0
         self.nodes_deleted = 0
         self.relationships_deleted = 0
+
+    def compile(self, expr: Optional[ast.Expr]):
+        """Compile ``expr`` to a closure (None when compilation is off)."""
+        if self.compiler is None or expr is None:
+            return None
+        return self.compiler.compile(expr)
+
+    def _filter_value(self, expr: ast.Expr) -> Any:
+        """Memoised evaluation of a pushed filter's row-independent value."""
+        cache = self._filter_values
+        key = id(expr)
+        if key in cache:
+            return cache[key]
+        value = self.evaluator.evaluate(expr, {})
+        cache[key] = value
+        return value
 
     def counters(self) -> dict[str, int]:
         return {
@@ -1095,6 +1399,11 @@ class _ExecutionContext:
     def _rel_properties_match(
         self, rel_pattern: ast.RelPattern, rel: Relationship, row: Row
     ) -> bool:
+        if self.compiler is not None:
+            for key, fn in self.compiler.pattern_props(rel_pattern):
+                if cypher_equals(rel.properties.get(key), fn(self, row)) is not True:
+                    return False
+            return True
         for key, expr in rel_pattern.properties:
             wanted = self.evaluator.evaluate(expr, row)
             if cypher_equals(rel.properties.get(key), wanted) is not True:
@@ -1217,10 +1526,16 @@ class _ExecutionContext:
         for label in node_pattern.labels:
             if label not in node.labels:
                 return None
-        for key, expr in node_pattern.properties:
-            wanted = self.evaluator.evaluate(expr, row)
-            if cypher_equals(node.properties.get(key), wanted) is not True:
-                return None
+        if node_pattern.properties:
+            if self.compiler is not None:
+                for key, fn in self.compiler.pattern_props(node_pattern):
+                    if cypher_equals(node.properties.get(key), fn(self, row)) is not True:
+                        return None
+            else:
+                for key, expr in node_pattern.properties:
+                    wanted = self.evaluator.evaluate(expr, row)
+                    if cypher_equals(node.properties.get(key), wanted) is not True:
+                        return None
         if (
             filters
             and node_pattern.variable is not None
@@ -1254,13 +1569,13 @@ class _ExecutionContext:
         for filt in filters:
             actual = properties.get(filt.key)
             if filt.kind == "eq":
-                wanted = self.evaluator.evaluate(filt.values[0], {})
+                wanted = self._filter_value(filt.values[0])
                 if cypher_equals(actual, wanted) is not True:
                     return False
                 continue
             if filt.kind == "range":
                 for op, expr in zip(filt.ops, filt.values):
-                    wanted = self.evaluator.evaluate(expr, {})
+                    wanted = self._filter_value(expr)
                     comparison = cypher_compare(actual, wanted)
                     if comparison is None:
                         return False
@@ -1274,7 +1589,7 @@ class _ExecutionContext:
                         return False
                 continue
             if filt.kind == "prefix":
-                wanted = self.evaluator.evaluate(filt.values[0], {})
+                wanted = self._filter_value(filt.values[0])
                 if not isinstance(actual, str) or not isinstance(wanted, str):
                     return False
                 if not actual.startswith(wanted):
@@ -1290,9 +1605,9 @@ class _ExecutionContext:
     def _filter_candidates(self, filt: PushedFilter) -> Optional[list[Any]]:
         """Resolve an IN filter's candidate values (None = cannot filter)."""
         if len(filt.values) == 1 and isinstance(filt.values[0], ast.Parameter):
-            value = self.evaluator.evaluate(filt.values[0], {})
+            value = self._filter_value(filt.values[0])
             return value if isinstance(value, list) else None
-        return [self.evaluator.evaluate(expr, {}) for expr in filt.values]
+        return [self._filter_value(expr) for expr in filt.values]
 
     def _should_reverse(
         self, elements: list[Union[ast.NodePattern, ast.RelPattern]], row: Row
@@ -1592,49 +1907,11 @@ class _Evaluator:
         return -value if expr.op == "-" else +value
 
     def _eval_BinaryOp(self, expr: ast.BinaryOp, row: Row) -> Any:
+        # The arithmetic/concatenation kernel is shared with the compiled
+        # closures (repro.cypher.compile) so both paths stay bit-identical.
         left = self.evaluate(expr.left, row)
         right = self.evaluate(expr.right, row)
-        if left is None or right is None:
-            return None
-        op = expr.op
-        if op == "+":
-            if isinstance(left, str) and isinstance(right, str):
-                return left + right
-            if isinstance(left, list) and isinstance(right, list):
-                return left + right
-            if isinstance(left, list):
-                return left + [right]
-            if isinstance(right, list):
-                return [left] + right
-            if isinstance(left, str) or isinstance(right, str):
-                # Neo4j allows string + number concatenation
-                return f"{_concat_text(left)}{_concat_text(right)}"
-        if isinstance(left, bool) or isinstance(right, bool):
-            raise CypherTypeError(f"operator {op} does not accept booleans")
-        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
-            raise CypherTypeError(f"operator {op} expects numbers, got {left!r}, {right!r}")
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if right == 0:
-                if isinstance(left, int) and isinstance(right, int):
-                    raise CypherRuntimeError("integer division by zero")
-                return float("inf") if left > 0 else float("-inf") if left < 0 else float("nan")
-            if isinstance(left, int) and isinstance(right, int):
-                quotient = abs(left) // abs(right)
-                return quotient if (left >= 0) == (right >= 0) else -quotient
-            return left / right
-        if op == "%":
-            if right == 0:
-                raise CypherRuntimeError("modulo by zero")
-            return math_fmod(left, right)
-        if op == "^":
-            return float(left) ** float(right)
-        raise CypherRuntimeError(f"unknown operator {op}")
+        return binary_operation(expr.op, left, right)
 
     def _eval_Comparison(self, expr: ast.Comparison, row: Row) -> Optional[bool]:
         values = [self.evaluate(operand, row) for operand in expr.operands]
@@ -1648,29 +1925,8 @@ class _Evaluator:
         return result
 
     def _compare_once(self, op: str, left: Any, right: Any) -> Optional[bool]:
-        if op == "=":
-            return cypher_equals(left, right)
-        if op == "<>":
-            equal = cypher_equals(left, right)
-            return None if equal is None else not equal
-        if op == "=~":
-            if left is None or right is None:
-                return None
-            if not isinstance(left, str) or not isinstance(right, str):
-                raise CypherTypeError("=~ expects string operands")
-            return regex_match(left, right)
-        comparison = cypher_compare(left, right)
-        if comparison is None:
-            return None
-        if op == "<":
-            return comparison < 0
-        if op == ">":
-            return comparison > 0
-        if op == "<=":
-            return comparison <= 0
-        if op == ">=":
-            return comparison >= 0
-        raise CypherRuntimeError(f"unknown comparison {op}")
+        # Shared with the compiled closures — see repro.cypher.compile.
+        return compare_once(op, left, right)
 
     def _eval_BooleanOp(self, expr: ast.BooleanOp, row: Row) -> Optional[bool]:
         saw_null = False
@@ -1907,26 +2163,9 @@ class _Evaluator:
 # ---------------------------------------------------------------------------
 
 # (_Descending, _freeze, _contains_aggregate and _same_rel_binding moved to
-# repro.cypher.operators with the projection/ordering machinery; imported
-# above for the matchers and evaluator that still use them.)
-
-def math_fmod(left: float | int, right: float | int) -> float | int:
-    """Cypher ``%``: sign follows the dividend, ints stay ints."""
-    result = abs(left) % abs(right)
-    if left < 0:
-        result = -result
-    if isinstance(left, int) and isinstance(right, int):
-        return int(result)
-    return float(result)
-
-
-def _concat_text(value: Any) -> str:
-    if isinstance(value, bool):
-        return "true" if value else "false"
-    if isinstance(value, float) and value.is_integer():
-        return f"{value:.1f}"
-    return str(value)
-
+# repro.cypher.operators with the projection/ordering machinery; math_fmod
+# and the concat kernel moved to repro.cypher.compile, shared with the
+# compiled expression closures.)
 
 def _pattern_variables(pattern: ast.Pattern) -> list[str]:
     """All variable names a pattern can introduce (for OPTIONAL padding)."""

@@ -53,6 +53,7 @@ from .errors import (
     CypherTypeError,
     ResourceExhausted,
 )
+from .compile import expression_variables
 from .functions import is_aggregate_function
 from .values import is_truthy, sort_key
 
@@ -70,6 +71,7 @@ __all__ = [
     "PartMatch",
     "OptionalMatch",
     "Filter",
+    "FusedFilterProject",
     "Unwind",
     "Project",
     "StarProject",
@@ -138,10 +140,13 @@ class PhysicalOperator:
         self.detail = ""
         #: planner cardinality estimate (None = unplanned)
         self.estimate: Optional[float] = None
+        #: compilation-state tag shown in EXPLAIN/PROFILE ("[compiled]", "[fused]")
+        self.marker = ""
 
     @property
     def label(self) -> str:
-        return f"{self.name}({self.detail})" if self.detail else self.name
+        base = f"{self.name}({self.detail})" if self.detail else self.name
+        return f"{base} {self.marker}" if self.marker else base
 
     def open(self) -> None:
         for child in self.children:
@@ -331,6 +336,10 @@ class IndexOrderedScan(PhysicalOperator):
         self.descending = descending
         self.needed = needed
         self.detail = detail
+        self.where_fn = ctx.compile(where)
+        self.order_fn = ctx.compile(order_expr)
+        if self.order_fn is not None:
+            self.marker = "[compiled]"
 
     def _open(self) -> None:
         self._count = 0
@@ -342,14 +351,23 @@ class IndexOrderedScan(PhysicalOperator):
             return None
         ctx = self.ctx
         evaluate = ctx.evaluator.evaluate
+        where_fn = self.where_fn
+        order_fn = self.order_fn
         for node in self._stream:
             row = ctx._bind_node(self.node_pattern, node, {}, self.filters)
             if row is None:
                 continue
             if self.where is not None:
-                if is_truthy(evaluate(self.where, row)) is not True:
+                passed = (
+                    where_fn(ctx, row) if where_fn is not None
+                    else evaluate(self.where, row)
+                )
+                if is_truthy(passed) is not True:
                     continue
-            key = sort_key(evaluate(self.order_expr, row))
+            if order_fn is not None:
+                key = sort_key(order_fn(ctx, row))
+            else:
+                key = sort_key(evaluate(self.order_expr, row))
             if self.descending:
                 key = _Descending(key)
             if self._count >= self.needed and self._boundary < key:
@@ -703,12 +721,25 @@ class Filter(PhysicalOperator):
         self.predicate = predicate
         self.pairs_in = pairs_in
         self.detail = detail
+        self.predicate_fn = ctx.compile(predicate)
+        if self.predicate_fn is not None:
+            self.marker = "[compiled]"
 
     def _next(self) -> Optional[Row]:
         child = self.children[0]
-        evaluate = self.ctx.evaluator.evaluate
-        predicate = self.predicate
+        ctx = self.ctx
         pairs = self.pairs_in
+        predicate_fn = self.predicate_fn
+        if predicate_fn is not None:
+            while True:
+                item = child.next()
+                if item is None:
+                    return None
+                row = item[0] if pairs else item
+                if is_truthy(predicate_fn(ctx, row)) is True:
+                    return row
+        evaluate = ctx.evaluator.evaluate
+        predicate = self.predicate
         while True:
             item = child.next()
             if item is None:
@@ -716,6 +747,60 @@ class Filter(PhysicalOperator):
             row = item[0] if pairs else item
             if is_truthy(evaluate(predicate, row)) is True:
                 return row
+
+
+class FusedFilterProject(PhysicalOperator):
+    """Fused Filter→…→Project chain: one compiled callable per row.
+
+    The lowering collapses a run of adjacent compiled ``Filter`` operators
+    directly feeding a non-aggregated projection into this single
+    operator, eliding the per-operator ``next()`` wrapper (budget charge,
+    deadline stride, profiling timer) between them.  ``predicate_fns``
+    are in evaluation order (innermost filter first), preserving WHERE
+    side-effect/error order.  Emits ``(values, [row])`` projection
+    entries, exactly like :class:`Project`.
+    """
+
+    name = "FilterProject"
+
+    def __init__(
+        self,
+        state: RuntimeState,
+        child: PhysicalOperator,
+        ctx,
+        items: list,
+        keys: list[str],
+        predicate_fns: tuple,
+        item_fns: tuple,
+        detail: str = "",
+    ) -> None:
+        super().__init__(state, (child,))
+        self.ctx = ctx
+        self.items = items
+        self.keys = keys
+        self.aggregated = False
+        self.predicate_fns = predicate_fns
+        self.item_fns = item_fns
+        self.detail = detail or ", ".join(keys)
+        self.marker = "[fused]"
+
+    def _next(self) -> Any:
+        child = self.children[0]
+        ctx = self.ctx
+        predicate_fns = self.predicate_fns
+        item_fns = self.item_fns
+        while True:
+            row = child.next()
+            if row is None:
+                return None
+            ok = True
+            for fn in predicate_fns:
+                if is_truthy(fn(ctx, row)) is not True:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            return ([fn(ctx, row) for fn in item_fns], [row])
 
 
 class Unwind(PhysicalOperator):
@@ -728,6 +813,9 @@ class Unwind(PhysicalOperator):
         self.ctx = ctx
         self.clause = clause
         self.detail = clause.variable
+        self.expression_fn = ctx.compile(clause.expression)
+        if self.expression_fn is not None:
+            self.marker = "[compiled]"
 
     def _open(self) -> None:
         self._items: Optional[list] = None
@@ -750,7 +838,11 @@ class Unwind(PhysicalOperator):
             row = child.next()
             if row is None:
                 return None
-            value = self.ctx.evaluator.evaluate(clause.expression, row)
+            fn = self.expression_fn
+            if fn is not None:
+                value = fn(self.ctx, row)
+            else:
+                value = self.ctx.evaluator.evaluate(clause.expression, row)
             if value is None:
                 continue
             if not isinstance(value, list):
@@ -808,12 +900,20 @@ class Project(PhysicalOperator):
         self.keys = keys
         self.aggregated = False
         self.detail = ", ".join(keys)
+        fns = [ctx.compile(item.expression) for item in items]
+        self.item_fns = tuple(fns) if all(fn is not None for fn in fns) else None
+        if self.item_fns is not None:
+            self.marker = "[compiled]"
 
     def _next(self) -> Any:
         row = self.children[0].next()
         if row is None:
             return None
-        evaluate = self.ctx.evaluator.evaluate
+        ctx = self.ctx
+        item_fns = self.item_fns
+        if item_fns is not None:
+            return ([fn(ctx, row) for fn in item_fns], [row])
+        evaluate = ctx.evaluator.evaluate
         return ([evaluate(item.expression, row) for item in self.items], [row])
 
 
@@ -895,7 +995,15 @@ class Aggregate(PhysicalOperator):
             items, keys, _, grouping_indices = derive_projection(self.clause, in_scope)
         self.items = items
         self.keys = keys
-        self._produced = _project_grouped(self.ctx, rows, items, grouping_indices)
+        grouping_fns = None
+        if grouping_indices:
+            fns = [self.ctx.compile(items[i].expression) for i in grouping_indices]
+            if all(fn is not None for fn in fns):
+                grouping_fns = tuple(fns)
+                self.marker = "[compiled]"
+        self._produced = _project_grouped(
+            self.ctx, rows, items, grouping_indices, grouping_fns
+        )
         self._index = 0
 
     def _next(self) -> Any:
@@ -956,6 +1064,8 @@ class Sort(PhysicalOperator):
         self.top = top
         self.name = "TopK" if top is not None else "Sort"
         self.detail = f"{len(order_by)} keys" + (f", top {top}" if top is not None else "")
+        if getattr(ctx, "compiler", None) is not None:
+            self.marker = "[compiled]"
 
     def _open(self) -> None:
         self._buffer: Optional[list] = None
@@ -1274,6 +1384,8 @@ def profile_tree(op: PhysicalOperator) -> dict:
         "time_ms": round(time_ms, 4),
         "self_time_ms": round(self_ms, 4),
     }
+    if op.marker:
+        payload["marker"] = op.marker.strip("[]")
     if op.estimate is not None:
         payload["estimate"] = round(op.estimate, 1)
     if children:
@@ -1318,13 +1430,22 @@ def _project_grouped(
     rows: list[Row],
     items: list,
     grouping_indices: list[int],
+    grouping_fns: Optional[tuple] = None,
 ) -> list[tuple[list[Any], list[Row]]]:
-    """Group ``rows`` by the non-aggregate items and evaluate aggregates."""
+    """Group ``rows`` by the non-aggregate items and evaluate aggregates.
+
+    ``grouping_fns`` (compiled closures aligned with ``grouping_indices``)
+    replace tree-walking evaluation of the grouping keys — one call per
+    row per key either way.
+    """
     groups: dict[Any, tuple[list[Any], list[Row]]] = {}
     order: list[Any] = []
     evaluate = ctx.evaluator.evaluate
     for row in rows:
-        group_values = [evaluate(items[i].expression, row) for i in grouping_indices]
+        if grouping_fns is not None:
+            group_values = [fn(ctx, row) for fn in grouping_fns]
+        else:
+            group_values = [evaluate(items[i].expression, row) for i in grouping_indices]
         group_key = _freeze(group_values)
         if group_key not in groups:
             groups[group_key] = (group_values, [])
@@ -1371,17 +1492,71 @@ def _order(
     evaluate = ctx.evaluator.evaluate
     evaluate_aggregate = ctx.evaluator.evaluate_aggregate
 
+    # Decide once per ORDER BY item how its value is obtained, instead of
+    # re-walking the expression for every entry:
+    #   ("reuse", j, _)     — the projection already evaluated this exact
+    #                         expression (or the item is a plain output
+    #                         alias); read values[j], no re-evaluation
+    #   ("agg", expr, _)    — aggregate over the group's env rows
+    #   ("eval", expr, fn)  — evaluate against the alias-extended row,
+    #                         via the compiled closure when available
+    key_set = set(keys)
+    plans: list[tuple] = []
+    needs_env = False
+    for order_item in order_by:
+        expr = order_item.expression
+        if aggregated and _contains_aggregate(expr):
+            reused = None
+            for j, item in enumerate(items):
+                if item.expression == expr:
+                    reused = j
+                    break
+            if reused is not None:
+                plans.append(("reuse", reused, None))
+            else:
+                plans.append(("agg", expr, None))
+            continue
+        if isinstance(expr, ast.Variable) and expr.name in key_set:
+            # Aliases shadow pattern variables in ORDER BY scope; the
+            # dict(zip(...)) env made the *last* duplicate key win.
+            for j in range(len(keys) - 1, -1, -1):
+                if keys[j] == expr.name:
+                    plans.append(("reuse", j, None))
+                    break
+            continue
+        reused = None
+        if expression_variables(expr).isdisjoint(key_set):
+            # Safe only when no alias shadows a variable the expression
+            # reads (`RETURN a.x AS a ORDER BY a.x` must re-evaluate).
+            for j, item in enumerate(items):
+                if item.expression == expr:
+                    reused = j
+                    break
+        if reused is not None:
+            plans.append(("reuse", reused, None))
+            continue
+        compile_expr = getattr(ctx, "compile", None)
+        fn = compile_expr(expr) if compile_expr is not None else None
+        plans.append(("eval", expr, fn))
+        needs_env = True
+
     def order_values(entry: tuple[list[Any], list[Row]]) -> tuple:
         values, env_rows = entry
-        alias_env = dict(zip(keys, values))
-        base = dict(env_rows[0]) if env_rows else {}
-        base.update(alias_env)
+        if needs_env:
+            base = dict(env_rows[0]) if env_rows else {}
+            base.update(zip(keys, values))
+        else:
+            base = None
         sort_parts = []
-        for order_item in order_by:
-            if aggregated and _contains_aggregate(order_item.expression):
-                value = evaluate_aggregate(order_item.expression, env_rows)
+        for (kind, payload, fn), order_item in zip(plans, order_by):
+            if kind == "reuse":
+                value = values[payload]
+            elif kind == "agg":
+                value = evaluate_aggregate(payload, env_rows)
+            elif fn is not None:
+                value = fn(ctx, base)
             else:
-                value = evaluate(order_item.expression, base)
+                value = evaluate(payload, base)
             key = sort_key(value)
             if order_item.descending:
                 sort_parts.append(_Descending(key))

@@ -55,6 +55,20 @@ class Record:
         self._keys = list(keys)
         self._values = list(values)
 
+    @classmethod
+    def of(cls, keys: list[str], values: list[Any]) -> "Record":
+        """Adopt ``keys``/``values`` without copying.
+
+        The engine's result materialisation shares one keys list across
+        every record of a result set and hands over freshly built value
+        lists; both are safe to adopt because every accessor copies on
+        the way out.
+        """
+        record = cls.__new__(cls)
+        record._keys = keys
+        record._values = values
+        return record
+
     def keys(self) -> list[str]:
         return list(self._keys)
 
