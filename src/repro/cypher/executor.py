@@ -113,9 +113,11 @@ class _FastPath:
     Cached on the :class:`_PlanEntry`, so repeated executions of the same
     query text skip operator-tree construction entirely and run a flat
     bind → WHERE → project loop.  Only eligible shapes whose per-row
-    pipeline is exactly that sequence are built (no ORDER BY, DISTINCT,
-    aggregation, OPTIONAL or multi-part patterns), so output — including
-    error order — matches the operator tree row for row.
+    pipeline is exactly that sequence — optionally followed by DISTINCT
+    and/or aggregation, which reuse the operator layer's ``_freeze`` and
+    ``_project_grouped`` verbatim — are built (no ORDER BY, ``RETURN *``,
+    OPTIONAL or multi-part patterns), so output — including error order —
+    matches the operator tree row for row.
     """
 
     elements: list
@@ -134,6 +136,18 @@ class _FastPath:
     check_labels: tuple = ()
     prop_fns: tuple = ()
     var_filters: Any = None
+    #: RETURN DISTINCT — dedup projected values exactly like ops.Distinct
+    distinct: bool = False
+    #: aggregated RETURN: (items, grouping_indices, grouping_fns) for
+    #: ops._project_grouped; None for plain projections
+    aggregate: Optional[tuple] = None
+    #: ungrouped single-aggregate specialization: (name, arg_fn, distinct)
+    #: with arg_fn None for count(*) — streams straight into call_aggregate
+    simple_aggregate: Optional[tuple] = None
+    #: hops may traverse the CSR snapshot (planner's PartPlan.use_csr)
+    use_csr: bool = False
+    #: lazily-built ops.CSRChain, reused while the snapshot stays live
+    csr_chain: Any = None
 
 
 class CypherEngine:
@@ -154,6 +168,7 @@ class CypherEngine:
         cache_size: int = 1024,
         row_budget: Optional[int] = None,
         compile_expressions: bool = True,
+        csr_snapshot: bool = True,
     ) -> None:
         self.store = store
         self.max_var_length = max_var_length
@@ -162,8 +177,12 @@ class CypherEngine:
         self.row_budget = row_budget
         #: expression compiler shared across executions (None = interpret)
         self.compiler = ExpressionCompiler() if compile_expressions else None
+        #: traverse read-only queries over the store's CSR snapshot
+        self.csr = csr_snapshot
         self._fastpath_hits = 0
         self._fused_operators = 0
+        self._csr_expand_operators = 0
+        self._csr_part_scans = 0
         self._ast_cache: _LRUCache = _LRUCache(cache_size)
         self._plan_cache: _LRUCache = _LRUCache(cache_size)
         # id(clause) -> (clause, items, keys, aggregated, grouping_indices);
@@ -179,6 +198,13 @@ class CypherEngine:
         )
         metrics["compile.fastpath_hits"] = self._fastpath_hits
         metrics["compile.fused_operators"] = self._fused_operators
+        return metrics
+
+    def csr_metrics(self) -> dict[str, int]:
+        """CSR snapshot counters (store build/hit/invalidation + engine use)."""
+        metrics = self.store.csr_metrics()
+        metrics["csr.expand_operators"] = self._csr_expand_operators
+        metrics["csr.part_scans"] = self._csr_part_scans
         return metrics
 
     def run(self, query: str, **params: Any) -> ResultSet:
@@ -246,7 +272,11 @@ class CypherEngine:
 
     def run_ast(self, tree: ast.Query, params: dict[str, Any] | None = None) -> ResultSet:
         """Execute an already-parsed query (plans computed, not cached)."""
-        plans = plan_query(tree, self.store.statistics()) if self.planner else None
+        plans = (
+            plan_query(tree, self.store.statistics(), csr=self.csr)
+            if self.planner
+            else None
+        )
         result, _ = self._execute(tree, params or {}, plans)
         return result
 
@@ -265,7 +295,7 @@ class CypherEngine:
             entry = _PlanEntry(
                 tree=tree,
                 stats_version=version,
-                plans=plan_query(tree, self.store.statistics()),
+                plans=plan_query(tree, self.store.statistics(), csr=self.csr),
             )
             self._plan_cache[query] = entry
         return entry
@@ -287,7 +317,7 @@ class CypherEngine:
         """
         context = _ExecutionContext(
             self.store, params, self.max_var_length, plans, self._projection_meta,
-            self.compiler,
+            self.compiler, csr=self.csr and not _tree_has_writes(tree),
         )
         state = RuntimeState(deadline=deadline, budget=row_budget, profiled=profiled)
         state.check_deadline()
@@ -332,7 +362,11 @@ class CypherEngine:
         predicates pushed down to bind time.
         """
         tree = parse(query)
-        plans = plan_query(tree, self.store.statistics()) if self.planner else None
+        plans = (
+            plan_query(tree, self.store.statistics(), csr=self.csr)
+            if self.planner
+            else None
+        )
         queries = tree.queries if isinstance(tree, ast.UnionQuery) else (tree,)
         lines = []
         for qindex, single in enumerate(queries):
@@ -410,11 +444,12 @@ class CypherEngine:
         first, last = nodes[0], nodes[-1]
         if plan is not None:
             anchor_node = last if plan.reverse else first
+            csr = " [csr]" if plan.use_csr and part.hop_count else ""
             return (
                 f"pattern({len(nodes)} nodes, {part.hop_count} hops) "
                 f"anchor={self._node_text(anchor_node)} via {plan.anchor.describe()} "
                 f"est≈{plan.anchor.est_rows:.0f}, expand {plan.direction} "
-                f"est≈{plan.est_rows:.0f} rows"
+                f"est≈{plan.est_rows:.0f} rows{csr}"
             )
         empty_row: Row = {}
         reverse = len(part.elements) > 1 and (
@@ -567,7 +602,18 @@ class CypherEngine:
         emit_row: bool,
         update_used: bool,
     ) -> ops.PhysicalOperator:
-        """One planned pattern part as an ``AnchorScan → Expand* → Match`` chain."""
+        """One planned pattern part as an ``AnchorScan → Expand* → Match`` chain.
+
+        When the planner marked the part CSR-eligible and a fresh snapshot
+        is available, hops traverse the snapshot's adjacency arrays.  Two
+        shapes exist: unobserved executions (no PROFILE, deadline or row
+        budget watching individual operators) fuse the whole part — anchor,
+        every hop, emit — into one :class:`~repro.cypher.operators.CSRPartScan`,
+        eliminating per-hop operator dispatch; observed executions keep the
+        per-hop chain with ``[csr]``-marked Expand operators so PROFILE
+        still shows one line per hop.  Both produce rows in exactly the
+        order of the dict-adjacency chain.
+        """
         elements = list(part.elements)
         if part_plan.reverse:
             elements = _reverse_elements(elements)
@@ -576,6 +622,18 @@ class CypherEngine:
         anchor = part_plan.anchor
         track_path = part.path_variable is not None
         maintain_used = update_used or part_plan.needs_used
+        snapshot = context.csr_snapshot() if part_plan.use_csr else None
+        if snapshot is not None and len(elements) > 1:
+            if not state.profiled and state.budget is None and state.deadline is None:
+                scan = ops.CSRPartScan(
+                    state, child, context, part, part_plan, elements, filters,
+                    snapshot, from_rows=from_rows, emit_row=emit_row,
+                    maintain_used=maintain_used,
+                    detail=f"{len(part.nodes)} nodes, {part.hop_count} hops",
+                )
+                scan.estimate = part_plan.est_rows
+                self._csr_part_scans += 1
+                return scan
         name, detail = anchor.physical_operator()
         op: ops.PhysicalOperator = ops.AnchorScan(
             state, child, context, first, anchor, filters,
@@ -587,13 +645,30 @@ class CypherEngine:
             node_pattern = elements[index + 1]
             assert isinstance(rel_pattern, ast.RelPattern)
             assert isinstance(node_pattern, ast.NodePattern)
-            expand_cls = ops.VarLengthExpand if rel_pattern.var_length else ops.Expand
             types = "|".join(rel_pattern.types) if rel_pattern.types else ""
             arrow = {"out": "->", "in": "<-", "both": "--"}[rel_pattern.direction]
-            op = expand_cls(
-                state, op, context, rel_pattern, node_pattern, filters,
-                maintain_used, detail=f"[:{types}]{arrow}" if types else arrow,
-            )
+            hop_detail = f"[:{types}]{arrow}" if types else arrow
+            if snapshot is not None:
+                # Planner eligibility (use_csr) already guarantees every hop
+                # binds no rel variable and checks no rel properties.
+                expand_cls = (
+                    ops.CSRVarLengthExpand
+                    if rel_pattern.var_length
+                    else ops.CSRExpand
+                )
+                op = expand_cls(
+                    state, op, context, rel_pattern, node_pattern, filters,
+                    maintain_used, snapshot, detail=hop_detail,
+                )
+                self._csr_expand_operators += 1
+            else:
+                expand_cls = (
+                    ops.VarLengthExpand if rel_pattern.var_length else ops.Expand
+                )
+                op = expand_cls(
+                    state, op, context, rel_pattern, node_pattern, filters,
+                    maintain_used, detail=hop_detail,
+                )
         emit = ops.PartEmit(
             state, op, part, part_plan.reverse, emit_row,
             detail=f"{len(part.nodes)} nodes, {part.hop_count} hops",
@@ -808,7 +883,7 @@ class CypherEngine:
         part = match.pattern.parts[0]
         if part.shortest is not None or part.path_variable is not None:
             return None
-        if ret.star or ret.distinct or ret.order_by:
+        if ret.star or ret.order_by:
             return None
         meta = self._projection_meta.get(id(ret))
         if meta is None:
@@ -818,8 +893,6 @@ class CypherEngine:
             self._projection_meta[id(ret)] = (ret, items, keys, aggregated, grouping)
         else:
             _, items, keys, aggregated, grouping = meta
-        if aggregated:
-            return None
         plan = plans.get(id(match))
         if plan is None:
             return None
@@ -830,6 +903,31 @@ class CypherEngine:
         if part_plan.reverse:
             elements = _reverse_elements(elements)
         compiler = self.compiler
+        aggregate = None
+        simple_aggregate = None
+        if aggregated:
+            # Mirror ops.Aggregate._open: grouping keys run compiled only
+            # when every one of them compiles.
+            fns = [compiler.compile(items[i].expression) for i in grouping]
+            grouping_fns = tuple(fns) if grouping and all(f is not None for f in fns) else None
+            aggregate = (items, grouping, grouping_fns)
+            if not grouping and len(items) == 1:
+                # One group, one aggregate: stream the compiled argument
+                # straight into call_aggregate — same values, same dedup,
+                # same reducer as evaluate_aggregate, minus the per-row
+                # grouping machinery.
+                expr = items[0].expression
+                if isinstance(expr, ast.CountStar):
+                    simple_aggregate = ("count", None, False)
+                elif (
+                    isinstance(expr, ast.FunctionCall)
+                    and is_aggregate_function(expr.name)
+                    and expr.name.lower() not in ("percentilecont", "percentiledisc")
+                    and len(expr.args) == 1
+                ):
+                    arg_fn = compiler.compile(expr.args[0])
+                    if arg_fn is not None:
+                        simple_aggregate = (expr.name, arg_fn, expr.distinct)
         anchor = part_plan.anchor
         first = elements[0]
         variable = None
@@ -855,7 +953,11 @@ class CypherEngine:
             filters=plan.filters,
             maintain_used=part_plan.needs_used,
             where_fn=compiler.compile(match.where) if match.where is not None else None,
-            item_fns=tuple(compiler.compile(item.expression) for item in items),
+            item_fns=(
+                ()
+                if aggregated
+                else tuple(compiler.compile(item.expression) for item in items)
+            ),
             keys=keys,
             skip_expr=ret.skip,
             limit_expr=ret.limit,
@@ -863,6 +965,10 @@ class CypherEngine:
             check_labels=check_labels,
             prop_fns=prop_fns,
             var_filters=var_filters,
+            distinct=ret.distinct,
+            aggregate=aggregate,
+            simple_aggregate=simple_aggregate,
+            use_csr=part_plan.use_csr and len(elements) > 1,
         )
 
     def _run_fastpath(self, fp: _FastPath, params: dict[str, Any]) -> ResultSet:
@@ -876,7 +982,7 @@ class CypherEngine:
         """
         ctx = _ExecutionContext(
             self.store, params, self.max_var_length, None, self._projection_meta,
-            self.compiler,
+            self.compiler, csr=self.csr,
         )
         skip = ctx._bounded_int(fp.skip_expr, "SKIP") if fp.skip_expr is not None else 0
         limit = (
@@ -889,6 +995,8 @@ class CypherEngine:
         if limit == 0:
             return ResultSet(keys, [], **ctx.counters())
         needed = None if limit is None else skip + limit
+        if fp.distinct or fp.aggregate is not None:
+            return self._run_fastpath_grouped(fp, ctx, keys, skip, needed)
         where_fn = fp.where_fn
         item_fns = fp.item_fns
         first = fp.elements[0]
@@ -935,6 +1043,25 @@ class CypherEngine:
                 values_rows.append([fn(ctx, row) for fn in item_fns])
                 if needed is not None and len(values_rows) >= needed:
                     break
+        elif (chain := self._fastpath_chain(fp, ctx)) is not None:
+            ordinal_of = chain.ordinal_of
+            done = False
+            for start in ctx._node_candidates(first, empty, fp.anchor):
+                start_row = ctx._bind_node(first, start, empty, fp.filters)
+                if start_row is None:
+                    continue
+                ordinal = ordinal_of.get(start.node_id)
+                if ordinal is None:  # pragma: no cover - fresh snapshot covers all ids
+                    continue
+                for row in chain.descend(0, start_row, frozenset(), ordinal, True):
+                    if where_fn is not None and is_truthy(where_fn(ctx, row)) is not True:
+                        continue
+                    values_rows.append([fn(ctx, row) for fn in item_fns])
+                    if needed is not None and len(values_rows) >= needed:
+                        done = True
+                        break
+                if done:
+                    break
         else:
             buffer: list = []
             done = False
@@ -959,6 +1086,177 @@ class CypherEngine:
         records = [Record.of(keys, values) for values in values_rows[skip:]]
         return ResultSet(keys, records, **ctx.counters())
 
+    def _fastpath_chain(self, fp: _FastPath, ctx: "_ExecutionContext"):
+        """The fast path's :class:`~repro.cypher.operators.CSRChain`, or None.
+
+        None routes the caller to the dict-adjacency chain (CSR disabled,
+        the part isn't CSR-eligible, or the snapshot failed to build).  A
+        built chain is cached on the fast path while its snapshot stays
+        live, but only reused as-is when every hop is a simple bind —
+        hops that bind through the context (pattern properties, pushed
+        filters) read this run's parameters, so those rebuild per run
+        rather than mutate a chain another thread may be traversing.
+        """
+        if not fp.use_csr:
+            return None
+        snapshot = ctx.csr_snapshot()
+        if snapshot is None:
+            return None
+        chain = fp.csr_chain
+        if (
+            chain is not None
+            and chain.snapshot is snapshot
+            and (chain.ctx is ctx or all(hop[4] for hop in chain.hops))
+        ):
+            return chain
+        chain = ops.CSRChain(ctx, snapshot, fp.elements, fp.filters, fp.maintain_used)
+        fp.csr_chain = chain
+        return chain
+
+    def _fastpath_match(self, fp: _FastPath, ctx: "_ExecutionContext") -> Iterator[Row]:
+        """Matched (bind → WHERE) rows of the fast path's single part.
+
+        The row source for the DISTINCT/aggregated tail: identical checks
+        to the flat projection loops, yielding the bound rows instead of
+        projecting them.
+        """
+        where_fn = fp.where_fn
+        first = fp.elements[0]
+        empty: Row = {}
+        if len(fp.elements) == 1:
+            var = fp.variable
+            check_labels = fp.check_labels
+            prop_fns = fp.prop_fns
+            var_filters = fp.var_filters
+            wanted: Optional[list] = None
+            for node in ctx._node_candidates(first, empty, fp.anchor):
+                if check_labels:
+                    matched = True
+                    for label in check_labels:
+                        if label not in node.labels:
+                            matched = False
+                            break
+                    if not matched:
+                        continue
+                if prop_fns:
+                    if wanted is None:
+                        wanted = [(key, fn(ctx, empty)) for key, fn in prop_fns]
+                    properties = node.properties
+                    matched = True
+                    for key, want in wanted:
+                        if cypher_equals(properties.get(key), want) is not True:
+                            matched = False
+                            break
+                    if not matched:
+                        continue
+                if var_filters is not None and not ctx._passes_filters(
+                    node.properties, var_filters
+                ):
+                    continue
+                row = {var: node} if var is not None else empty
+                if where_fn is not None and is_truthy(where_fn(ctx, row)) is not True:
+                    continue
+                yield row
+            return
+        chain = self._fastpath_chain(fp, ctx)
+        if chain is not None:
+            ordinal_of = chain.ordinal_of
+            for start in ctx._node_candidates(first, empty, fp.anchor):
+                start_row = ctx._bind_node(first, start, empty, fp.filters)
+                if start_row is None:
+                    continue
+                ordinal = ordinal_of.get(start.node_id)
+                if ordinal is None:  # pragma: no cover - fresh snapshot covers all ids
+                    continue
+                for row in chain.descend(0, start_row, frozenset(), ordinal, True):
+                    if where_fn is not None and is_truthy(where_fn(ctx, row)) is not True:
+                        continue
+                    yield row
+            return
+        buffer: list = []
+        for start in ctx._node_candidates(first, empty, fp.anchor):
+            start_row = ctx._bind_node(first, start, empty, fp.filters)
+            if start_row is None:
+                continue
+            buffer.clear()
+            ctx._match_chain(
+                fp.elements, 1, start_row, frozenset(), start, None, None,
+                fp.filters, fp.maintain_used, buffer,
+            )
+            for row, _used in buffer:
+                if where_fn is not None and is_truthy(where_fn(ctx, row)) is not True:
+                    continue
+                yield row
+
+    def _run_fastpath_grouped(
+        self,
+        fp: _FastPath,
+        ctx: "_ExecutionContext",
+        keys: list[str],
+        skip: int,
+        needed: Optional[int],
+    ) -> ResultSet:
+        """DISTINCT / aggregated tail of the compiled fast path.
+
+        Matching runs the same flat bind → WHERE loop; the projection tail
+        reuses the operator layer's machinery verbatim — ``_freeze`` for
+        DISTINCT identity, ``_project_grouped`` for grouping and aggregate
+        evaluation — so output is row-identical to Distinct/Aggregate.
+        """
+        if fp.aggregate is None:
+            # RETURN DISTINCT: streaming dedup with the Limit-driven early
+            # exit counting distinct rows, exactly as Limit pulls through
+            # Distinct in the operator pipeline.
+            item_fns = fp.item_fns
+            seen: set = set()
+            values_rows: list[list[Any]] = []
+            for row in self._fastpath_match(fp, ctx):
+                values = [fn(ctx, row) for fn in item_fns]
+                frozen = _freeze(values)
+                if frozen in seen:
+                    continue
+                seen.add(frozen)
+                values_rows.append(values)
+                if needed is not None and len(values_rows) >= needed:
+                    break
+        elif fp.simple_aggregate is not None:
+            name, arg_fn, agg_distinct = fp.simple_aggregate
+            if arg_fn is None:
+                # count(*): row count, mirroring evaluate_aggregate's
+                # CountStar branch (len of the single group).
+                total = 0
+                for _row in self._fastpath_match(fp, ctx):
+                    total += 1
+                values_rows = [[total]]
+            else:
+                agg_values = [
+                    arg_fn(ctx, row) for row in self._fastpath_match(fp, ctx)
+                ]
+                values_rows = [[call_aggregate(name, agg_values, distinct=agg_distinct)]]
+            if needed is not None:
+                values_rows = values_rows[:needed]
+        else:
+            items, grouping_indices, grouping_fns = fp.aggregate
+            rows = list(self._fastpath_match(fp, ctx))
+            produced = ops._project_grouped(
+                ctx, rows, items, grouping_indices, grouping_fns
+            )
+            values_rows = [values for values, _group in produced]
+            if fp.distinct:
+                seen = set()
+                deduped: list[list[Any]] = []
+                for values in values_rows:
+                    frozen = _freeze(values)
+                    if frozen in seen:
+                        continue
+                    seen.add(frozen)
+                    deduped.append(values)
+                values_rows = deduped
+            if needed is not None:
+                values_rows = values_rows[:needed]
+        records = [Record.of(keys, values) for values in values_rows[skip:]]
+        return ResultSet(keys, records, **ctx.counters())
+
 
 # ---------------------------------------------------------------------------
 # Execution context: clause operators
@@ -975,12 +1273,17 @@ class _ExecutionContext:
         plans: Optional[dict[int, MatchPlan]] = None,
         projection_meta: Optional[dict[int, tuple]] = None,
         compiler: Optional[ExpressionCompiler] = None,
+        csr: bool = False,
     ):
         self.store = store
         self.params = params
         self.max_var_length = max_var_length
         self.plans = plans
         self.compiler = compiler
+        #: whether this (read-only) execution may traverse the CSR snapshot
+        self.csr = csr
+        self._csr_snapshot_ready = False
+        self._csr_snapshot_cached: Any = None
         self.evaluator = _Evaluator(self)
         # id(part) -> whether the part needs used-relationship tracking
         self._part_unique: dict[int, bool] = {}
@@ -1000,6 +1303,20 @@ class _ExecutionContext:
         if self.compiler is None or expr is None:
             return None
         return self.compiler.compile(expr)
+
+    def csr_snapshot(self):
+        """The store's CSR snapshot, or None (disabled / build failed).
+
+        Resolved at most once per execution: lowering may consult it for
+        several pattern parts, and a failed build must not be retried
+        per part.
+        """
+        if not self.csr:
+            return None
+        if not self._csr_snapshot_ready:
+            self._csr_snapshot_cached = self.store.csr_snapshot()
+            self._csr_snapshot_ready = True
+        return self._csr_snapshot_cached
 
     def _filter_value(self, expr: ast.Expr) -> Any:
         """Memoised evaluation of a pushed filter's row-independent value."""
@@ -1191,6 +1508,25 @@ class _ExecutionContext:
         max_hops = rel_pattern.max_hops if rel_pattern.max_hops is not None else self.max_var_length
         if min_hops == 0 and start.node_id == end.node_id:
             return [([start], [])]
+        if not rel_pattern.properties:
+            # CSR precheck: a frontier BFS over the snapshot's arrays gives
+            # the exact minimum depth (a minimal walk never repeats a vertex,
+            # so edge-uniqueness cannot change it; the object-level BFS below
+            # also never re-reaches a node below min_hops).  Unreachable or
+            # out-of-range endpoints return [] without touching any
+            # Relationship objects.
+            snapshot = self.csr_snapshot()
+            if snapshot is not None:
+                start_ord = snapshot.ordinal_of.get(start.node_id)
+                end_ord = snapshot.ordinal_of.get(end.node_id)
+                if start_ord is not None and end_ord is not None:
+                    levels = snapshot.bfs_levels(
+                        start_ord, rel_pattern.direction,
+                        rel_pattern.types or None, max_hops,
+                    )
+                    found_depth = int(levels[end_ord])
+                    if found_depth < min_hops:  # includes -1 = unreachable
+                        return []
         # Level-synchronous BFS keeping every parent edge at the found depth
         # so all shortest paths can be reconstructed.
         frontier: dict[int, list[tuple[list[Node], list[Relationship]]]] = {
@@ -2166,6 +2502,31 @@ class _Evaluator:
 # repro.cypher.operators with the projection/ordering machinery; math_fmod
 # and the concat kernel moved to repro.cypher.compile, shared with the
 # compiled expression closures.)
+
+_WRITE_CLAUSES = (
+    ast.CreateClause,
+    ast.MergeClause,
+    ast.SetClause,
+    ast.DeleteClause,
+    ast.RemoveClause,
+)
+
+
+def _tree_has_writes(tree: ast.Query) -> bool:
+    """Whether any clause of ``tree`` (or any UNION branch) mutates the graph.
+
+    CSR traversal is only wired up for read-only queries: a write clause
+    bumps the store's stats version mid-execution, which would force every
+    CSR operator onto its staleness fallback anyway — skipping the snapshot
+    up front keeps the plumbing out of the write path entirely.
+    """
+    queries = tree.queries if isinstance(tree, ast.UnionQuery) else (tree,)
+    return any(
+        isinstance(clause, _WRITE_CLAUSES)
+        for single in queries
+        for clause in single.clauses
+    )
+
 
 def _pattern_variables(pattern: ast.Pattern) -> list[str]:
     """All variable names a pattern can introduce (for OPTIONAL padding)."""

@@ -1,0 +1,330 @@
+"""Immutable CSR snapshot of a :class:`GraphStore` plus traversal kernels.
+
+The mutable store keeps adjacency as dict-of-set indexes — ideal for
+writes, but every traversal pays per-edge set unions, sorts and object
+hops.  :class:`CSRSnapshot` compiles the graph into compressed-sparse-row
+form: per-(direction, rel-types) ``indptr``/``neighbor``/``rel_id`` numpy
+arrays over dense node ordinals, an id↔ordinal map, interned label
+bitsets, and columnar property arrays for indexed keys.  On top of the
+arrays sit vectorized kernels (``expand_batch``, ``expand_unique``,
+``bfs_levels``, ``degrees``) and plain-list row views the Cypher
+operators' scalar hot loops walk without materialising
+:class:`~repro.graph.model.Relationship` objects.
+
+Determinism contract: every adjacency row is sorted by ascending rel id —
+exactly the order ``GraphStore.adjacent_relationships`` yields — so CSR
+and dict traversal enumerate identical step sequences and downstream
+DISTINCT/ORDER BY semantics are bit-identical.  For ``"both"`` the row is
+the sorted union of the out and in sides, so a self-loop appears once,
+again matching the dict path.
+
+A snapshot is valid for exactly one ``stats_version``; the store drops it
+on any mutation (same contract as its ``_adjacency_cache``).  Per-key
+arrays build lazily on first use and raise :class:`StaleSnapshotError`
+if the store has moved on underneath — callers fall back to the dict
+path instead of reading torn state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+import numpy as np
+
+from .model import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .store import GraphStore
+
+__all__ = ["CSRSnapshot", "CSRAdjacency", "StaleSnapshotError", "adjacency_key"]
+
+#: (direction, rel-types tuple or None) — one set of CSR arrays per key.
+AdjKey = tuple[str, Optional[tuple[str, ...]]]
+
+_DIRECTIONS = ("out", "in", "both")
+
+
+class StaleSnapshotError(RuntimeError):
+    """The store mutated after this snapshot was taken; rebuild required."""
+
+
+def adjacency_key(direction: str, rel_types: Iterable[str] | None = None) -> AdjKey:
+    """Normalise a (direction, rel-types) pair into a snapshot array key."""
+    if direction not in _DIRECTIONS:
+        raise ValueError(f"invalid direction {direction!r}")
+    if rel_types is not None and not isinstance(rel_types, tuple):
+        rel_types = tuple(rel_types)
+    return (direction, rel_types or None)
+
+
+class CSRAdjacency:
+    """One (direction, rel-types) adjacency in CSR form.
+
+    ``indptr[o]:indptr[o+1]`` delimits the row of node ordinal ``o`` in
+    the flat ``neighbors`` (target ordinals) and ``rel_ids`` arrays, both
+    sorted by rel id within each row.  ``neighbor_rows``/``rel_rows`` are
+    per-row plain-list views of the same data — Python ``list`` indexing
+    beats numpy scalar indexing in the executor's per-step loops.
+    """
+
+    __slots__ = ("indptr", "neighbors", "rel_ids", "neighbor_rows", "rel_rows")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        neighbors: np.ndarray,
+        rel_ids: np.ndarray,
+        neighbor_rows: list[list[int]],
+        rel_rows: list[list[int]],
+    ) -> None:
+        self.indptr = indptr
+        self.neighbors = neighbors
+        self.rel_ids = rel_ids
+        self.neighbor_rows = neighbor_rows
+        self.rel_rows = rel_rows
+
+
+class CSRSnapshot:
+    """Read-optimised columnar view of one :class:`GraphStore` version."""
+
+    __slots__ = (
+        "version",
+        "node_ids",
+        "ordinal_of",
+        "nodes",
+        "_store",
+        "_label_bits",
+        "_label_rows",
+        "_adj",
+        "_prop_columns",
+    )
+
+    def __init__(self, store: "GraphStore") -> None:
+        self._store = store
+        self.version = store.stats_version
+        ids = sorted(store._nodes)
+        #: dense ordinal -> node id (ascending, so ordinal order == id order)
+        self.node_ids = np.asarray(ids, dtype=np.int64)
+        #: node id -> dense ordinal
+        self.ordinal_of: dict[int, int] = {nid: o for o, nid in enumerate(ids)}
+        #: dense ordinal -> Node object (shared with the store, not copied)
+        self.nodes: list[Node] = [store._nodes[nid] for nid in ids]
+        # Interned label bitsets: one boolean array per label over ordinals.
+        self._label_bits: dict[str, np.ndarray] = {}
+        for label, members in store._label_index.items():
+            if not members:
+                continue
+            bits = np.zeros(len(ids), dtype=bool)
+            ordinal_of = self.ordinal_of
+            for nid in members:
+                bits[ordinal_of[nid]] = True
+            self._label_bits[label] = bits
+        # Combined per-labels-tuple list views for scalar loops (lazy).
+        self._label_rows: dict[tuple[str, ...], Optional[list[bool]]] = {}
+        self._adj: dict[AdjKey, CSRAdjacency] = {}
+        self._prop_columns: dict[str, list] = {}
+
+    # -- build -----------------------------------------------------------
+
+    def _check_fresh(self) -> None:
+        if self._store.stats_version != self.version:
+            raise StaleSnapshotError(
+                f"snapshot v{self.version} behind store v{self._store.stats_version}"
+            )
+
+    def adjacency(
+        self, direction: str, rel_types: Iterable[str] | None = None
+    ) -> CSRAdjacency:
+        """The CSR arrays for ``(direction, rel_types)`` (built lazily)."""
+        key = adjacency_key(direction, rel_types)
+        adj = self._adj.get(key)
+        if adj is None:
+            adj = self._build_adjacency(key)
+            self._adj[key] = adj
+        return adj
+
+    def _build_adjacency(self, key: AdjKey) -> CSRAdjacency:
+        self._check_fresh()
+        store = self._store
+        direction, rel_types = key
+        relationships = store._relationships
+        ordinal_of = self.ordinal_of
+        n = len(self.nodes)
+        counts = np.empty(n + 1, dtype=np.int64)
+        counts[0] = 0
+        rel_rows: list[list[int]] = []
+        neighbor_rows: list[list[int]] = []
+        for ordinal in range(n):
+            node_id = int(self.node_ids[ordinal])
+            rel_ids = sorted(store._adjacent_ids(node_id, direction, rel_types))
+            row_neighbors = []
+            for rid in rel_ids:
+                rel = relationships[rid]
+                other = rel.end_id if rel.start_id == node_id else rel.start_id
+                row_neighbors.append(ordinal_of[other])
+            rel_rows.append(rel_ids)
+            neighbor_rows.append(row_neighbors)
+            counts[ordinal + 1] = len(rel_ids)
+        indptr = np.cumsum(counts)
+        total = int(indptr[-1])
+        neighbors = np.fromiter(
+            (o for row in neighbor_rows for o in row), dtype=np.int64, count=total
+        )
+        rel_ids_arr = np.fromiter(
+            (r for row in rel_rows for r in row), dtype=np.int64, count=total
+        )
+        return CSRAdjacency(indptr, neighbors, rel_ids_arr, neighbor_rows, rel_rows)
+
+    def lists(
+        self, direction: str, rel_types: Iterable[str] | None = None
+    ) -> tuple[list[list[int]], list[list[int]]]:
+        """Per-ordinal ``(neighbor_rows, rel_rows)`` plain-list views."""
+        adj = self.adjacency(direction, rel_types)
+        return adj.neighbor_rows, adj.rel_rows
+
+    # -- labels ----------------------------------------------------------
+
+    def label_bitset(self, label: str) -> np.ndarray:
+        """Boolean membership array for ``label`` over node ordinals."""
+        bits = self._label_bits.get(label)
+        if bits is None:
+            bits = np.zeros(len(self.nodes), dtype=bool)
+        return bits
+
+    def label_row(self, labels: Iterable[str]) -> Optional[list[bool]]:
+        """Combined membership list for all of ``labels`` (None = no labels).
+
+        Cached per labels tuple; returned as a plain list because the
+        executor's scalar loops index it per candidate.
+        """
+        key = tuple(labels)
+        if not key:
+            return None
+        row = self._label_rows.get(key)
+        if row is None and key not in self._label_rows:
+            bits = self.label_bitset(key[0])
+            for label in key[1:]:
+                bits = bits & self.label_bitset(label)
+            row = bits.tolist()
+            self._label_rows[key] = row
+        return row
+
+    # -- columnar properties --------------------------------------------
+
+    def indexed_keys(self) -> frozenset[str]:
+        """Property keys covered by at least one (label, key) index."""
+        return frozenset(key for _, key in self._store._property_index)
+
+    def prop_column(self, key: str) -> list:
+        """Column of ``key`` values over node ordinals (missing = None).
+
+        Only indexed keys are materialised — the snapshot mirrors the
+        store's index catalog rather than copying every property.
+        """
+        column = self._prop_columns.get(key)
+        if column is None:
+            if key not in self.indexed_keys():
+                raise KeyError(f"property {key!r} has no index; no column built")
+            self._check_fresh()
+            column = [node.properties.get(key) for node in self.nodes]
+            self._prop_columns[key] = column
+        return column
+
+    # -- kernels ---------------------------------------------------------
+
+    def degrees(
+        self, direction: str = "both", rel_types: Iterable[str] | None = None
+    ) -> np.ndarray:
+        """Per-ordinal degree straight off ``indptr`` (no set walks)."""
+        adj = self.adjacency(direction, rel_types)
+        return np.diff(adj.indptr)
+
+    def degree_of(
+        self,
+        node_id: int,
+        direction: str = "both",
+        rel_types: Iterable[str] | None = None,
+    ) -> Optional[int]:
+        """Degree of ``node_id`` from ``indptr`` (None when id unknown)."""
+        ordinal = self.ordinal_of.get(node_id)
+        if ordinal is None:
+            return None
+        indptr = self.adjacency(direction, rel_types).indptr
+        return int(indptr[ordinal + 1] - indptr[ordinal])
+
+    def expand_batch(
+        self,
+        frontier: np.ndarray,
+        direction: str,
+        rel_types: Iterable[str] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expand a whole frontier of ordinals in one gather.
+
+        Returns ``(source_index, neighbor_ordinals, rel_ids)`` arrays where
+        ``source_index[i]`` points back into ``frontier``; within each
+        source the edges keep ascending rel-id order, so flattening the
+        result reproduces the scalar per-row enumeration exactly.
+        """
+        adj = self.adjacency(direction, rel_types)
+        frontier = np.asarray(frontier, dtype=np.int64)
+        starts = adj.indptr[frontier]
+        counts = adj.indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        source_index = np.repeat(np.arange(frontier.shape[0]), counts)
+        # Position of each output edge in the flat arrays: the row start,
+        # repeated per edge, plus the edge's offset within its row.
+        row_first = np.repeat(np.cumsum(counts) - counts, counts)
+        positions = np.repeat(starts, counts) + (
+            np.arange(total, dtype=np.int64) - row_first
+        )
+        return source_index, adj.neighbors[positions], adj.rel_ids[positions]
+
+    def expand_unique(
+        self,
+        frontier: np.ndarray,
+        direction: str,
+        rel_types: Iterable[str] | None = None,
+    ) -> np.ndarray:
+        """Distinct neighbor ordinals of a frontier (sorted ascending)."""
+        _, neighbors, _ = self.expand_batch(frontier, direction, rel_types)
+        if neighbors.size == 0:
+            return neighbors
+        return np.unique(neighbors)
+
+    def bfs_levels(
+        self,
+        start_ordinal: int,
+        direction: str,
+        rel_types: Iterable[str] | None = None,
+        max_depth: Optional[int] = None,
+    ) -> np.ndarray:
+        """Frontier-based BFS depth per ordinal (-1 = unreached).
+
+        Edge-uniqueness never changes minimum depths (a walk repeating an
+        edge always has a shorter edge-distinct prefix), so these levels
+        are exact for ``shortestPath`` reachability and hop-range prechecks.
+        """
+        depth = np.full(len(self.nodes), -1, dtype=np.int64)
+        depth[start_ordinal] = 0
+        frontier = np.asarray([start_ordinal], dtype=np.int64)
+        level = 0
+        while frontier.size and (max_depth is None or level < max_depth):
+            level += 1
+            candidates = self.expand_unique(frontier, direction, rel_types)
+            if candidates.size == 0:
+                break
+            fresh = candidates[depth[candidates] < 0]
+            if fresh.size == 0:
+                break
+            depth[fresh] = level
+            frontier = fresh
+        return depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRSnapshot(version={self.version}, nodes={len(self.nodes)},"
+            f" keys={len(self._adj)})"
+        )

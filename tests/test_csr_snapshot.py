@@ -1,0 +1,497 @@
+"""CSR snapshot correctness: kernels, equivalence oracle, invalidation.
+
+The snapshot's contract is that it is *invisible* except in speed: every
+query must return bit-identical rows with ``csr_snapshot`` on or off, in
+every observation mode, on every topology, and degrade to dict adjacency
+when the build fails.  These tests enforce that contract from the kernel
+level (array semantics vs. naive recomputation) up through the executor
+(gold-set oracle, markers, metrics) and the serving layer (config escape
+hatch, fault degradation).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import ChatIYPConfig
+from repro.cypher import CypherEngine, render_value
+from repro.eval import build_cyphereval
+from repro.faults import FaultPlan, FaultSpec, activated
+from repro.graph import CSRSnapshot, GraphStore, StaleSnapshotError, adjacency_key
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def diamond_store():
+    """A tiny hand-built graph with fan-out, a self-loop and parallel edges.
+
+        a --P--> b --P--> d        a --P--> c --P--> d
+        a --P--> b   (parallel)    d --P--> d (self-loop)
+        b --C--> x (cross-typed)
+    """
+    store = GraphStore()
+    a = store.create_node(["AS"], {"asn": 1})
+    b = store.create_node(["AS"], {"asn": 2})
+    c = store.create_node(["AS"], {"asn": 3})
+    d = store.create_node(["AS", "Tier1"], {"asn": 4})
+    x = store.create_node(["Country"], {"country_code": "GR"})
+    store.create_relationship(a.node_id, "PEERS_WITH", b.node_id)
+    store.create_relationship(a.node_id, "PEERS_WITH", b.node_id)  # parallel
+    store.create_relationship(a.node_id, "PEERS_WITH", c.node_id)
+    store.create_relationship(b.node_id, "PEERS_WITH", d.node_id)
+    store.create_relationship(c.node_id, "PEERS_WITH", d.node_id)
+    store.create_relationship(d.node_id, "PEERS_WITH", d.node_id)  # self-loop
+    store.create_relationship(b.node_id, "COUNTRY", x.node_id)
+    return store
+
+
+def _naive_row(store, node_id, direction, rel_types):
+    """Reference adjacency row: (rel_id, other_end) sorted by rel id."""
+    rows = []
+    for rel in store.adjacent_relationships(node_id, direction, rel_types):
+        rows.append((rel.rel_id, rel.other_end(node_id)))
+    return sorted(rows)
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level semantics vs. naive recomputation
+# ---------------------------------------------------------------------------
+
+
+class TestKernels:
+    @pytest.mark.parametrize("direction", ["out", "in", "both"])
+    @pytest.mark.parametrize("rel_types", [None, ("PEERS_WITH",), ("COUNTRY",)])
+    def test_rows_match_dict_adjacency(self, diamond_store, direction, rel_types):
+        snapshot = diamond_store.csr_snapshot()
+        neighbor_rows, rel_rows = snapshot.lists(direction, rel_types)
+        for node_id, ordinal in snapshot.ordinal_of.items():
+            expected = _naive_row(diamond_store, node_id, direction, rel_types)
+            got = [
+                (rid, int(snapshot.node_ids[n]))
+                for rid, n in zip(rel_rows[ordinal], neighbor_rows[ordinal])
+            ]
+            assert got == expected, (node_id, direction, rel_types)
+            # Determinism contract: ascending rel id within every row.
+            assert rel_rows[ordinal] == sorted(rel_rows[ordinal])
+
+    def test_self_loop_appears_once_in_both(self, diamond_store):
+        snapshot = diamond_store.csr_snapshot()
+        d_id = next(
+            n.node_id for n in diamond_store.all_nodes() if "Tier1" in n.labels
+        )
+        ordinal = snapshot.ordinal_of[d_id]
+        _, rel_rows = snapshot.lists("both", ("PEERS_WITH",))
+        loop_ids = [
+            r.rel_id
+            for r in diamond_store.adjacent_relationships(d_id, "out")
+            if r.start_id == r.end_id
+        ]
+        assert len(loop_ids) == 1
+        assert rel_rows[ordinal].count(loop_ids[0]) == 1
+
+    def test_degrees_match_store(self, diamond_store):
+        snapshot = diamond_store.csr_snapshot()
+        for direction in ("out", "in", "both"):
+            degrees = snapshot.degrees(direction)
+            for node_id, ordinal in snapshot.ordinal_of.items():
+                assert degrees[ordinal] == diamond_store.degree(node_id, direction)
+                assert snapshot.degree_of(node_id, direction) == int(degrees[ordinal])
+        assert snapshot.degree_of(10_000) is None
+
+    def test_expand_batch_flattens_per_row_enumeration(self, diamond_store):
+        snapshot = diamond_store.csr_snapshot()
+        frontier = np.arange(len(snapshot.nodes), dtype=np.int64)
+        source_index, neighbors, rel_ids = snapshot.expand_batch(frontier, "out")
+        neighbor_rows, rel_rows = snapshot.lists("out")
+        flat = [
+            (o, n, r)
+            for o in range(len(snapshot.nodes))
+            for n, r in zip(neighbor_rows[o], rel_rows[o])
+        ]
+        got = list(zip(source_index.tolist(), neighbors.tolist(), rel_ids.tolist()))
+        assert got == flat
+
+    def test_expand_batch_empty_frontier(self, diamond_store):
+        snapshot = diamond_store.csr_snapshot()
+        source_index, neighbors, rel_ids = snapshot.expand_batch(
+            np.empty(0, dtype=np.int64), "out"
+        )
+        assert neighbors.size == 0 and source_index.size == 0 and rel_ids.size == 0
+
+    def test_expand_unique_is_sorted_distinct(self, diamond_store):
+        snapshot = diamond_store.csr_snapshot()
+        a_ord = snapshot.ordinal_of[
+            next(n.node_id for n in diamond_store.all_nodes() if n.properties.get("asn") == 1)
+        ]
+        unique = snapshot.expand_unique(
+            np.asarray([a_ord], dtype=np.int64), "out", ("PEERS_WITH",)
+        )
+        # a has parallel edges to b: b must appear once, and sorted.
+        assert unique.tolist() == sorted(set(unique.tolist()))
+        assert len(unique) == 2  # b and c
+
+    def test_bfs_levels_match_naive_bfs(self, diamond_store):
+        snapshot = diamond_store.csr_snapshot()
+        for start_id, ordinal in snapshot.ordinal_of.items():
+            levels = snapshot.bfs_levels(ordinal, "out", ("PEERS_WITH",))
+            # Naive BFS over the dict adjacency.
+            expected = {start_id: 0}
+            frontier = [start_id]
+            depth = 0
+            while frontier:
+                depth += 1
+                nxt = []
+                for nid in frontier:
+                    for rel in diamond_store.adjacent_relationships(
+                        nid, "out", ("PEERS_WITH",)
+                    ):
+                        other = rel.other_end(nid)
+                        if other not in expected:
+                            expected[other] = depth
+                            nxt.append(other)
+                frontier = nxt
+            for node_id, o in snapshot.ordinal_of.items():
+                assert levels[o] == expected.get(node_id, -1), (start_id, node_id)
+
+    def test_bfs_max_depth_truncates(self, diamond_store):
+        snapshot = diamond_store.csr_snapshot()
+        a_ord = snapshot.ordinal_of[
+            next(n.node_id for n in diamond_store.all_nodes() if n.properties.get("asn") == 1)
+        ]
+        levels = snapshot.bfs_levels(a_ord, "out", ("PEERS_WITH",), max_depth=1)
+        assert set(levels.tolist()) <= {-1, 0, 1}
+
+    def test_label_bitsets_and_rows(self, diamond_store):
+        snapshot = diamond_store.csr_snapshot()
+        as_bits = snapshot.label_bitset("AS")
+        assert int(as_bits.sum()) == 4
+        assert snapshot.label_bitset("Nope").any() is np.bool_(False)
+        combined = snapshot.label_row(("AS", "Tier1"))
+        assert sum(combined) == 1
+        assert snapshot.label_row(()) is None
+
+    def test_prop_column_requires_index(self, diamond_store):
+        snapshot = diamond_store.csr_snapshot()
+        with pytest.raises(KeyError):
+            snapshot.prop_column("asn")
+        diamond_store.create_property_index("AS", "asn")
+        fresh = diamond_store.csr_snapshot()  # index creation invalidates
+        column = fresh.prop_column("asn")
+        assert "asn" in fresh.indexed_keys()
+        for node_id, ordinal in fresh.ordinal_of.items():
+            assert column[ordinal] == diamond_store.node(node_id).properties.get("asn")
+
+    def test_stale_snapshot_refuses_lazy_builds(self, diamond_store):
+        snapshot = diamond_store.csr_snapshot()
+        diamond_store.create_node(["AS"], {"asn": 99})
+        with pytest.raises(StaleSnapshotError):
+            snapshot.adjacency("out", ("COUNTRY", "NEVER_BUILT"))
+
+    def test_adjacency_key_normalises(self):
+        assert adjacency_key("out", ["A", "B"]) == ("out", ("A", "B"))
+        assert adjacency_key("both", ()) == ("both", None)
+        with pytest.raises(ValueError):
+            adjacency_key("sideways")
+
+    def test_snapshot_over_empty_store(self):
+        store = GraphStore()
+        snapshot = store.csr_snapshot()
+        assert isinstance(snapshot, CSRSnapshot)
+        assert len(snapshot.nodes) == 0
+        assert snapshot.degrees("both").shape == (0,)
+
+
+# ---------------------------------------------------------------------------
+# Executor equivalence: CSR on/off must be bit-identical
+# ---------------------------------------------------------------------------
+
+_ORACLE_SHARDS = 5
+
+
+@pytest.fixture(scope="module")
+def oracle_questions(small_dataset):
+    return build_cyphereval(small_dataset, seed=11, per_template=4)
+
+
+@pytest.fixture(scope="module")
+def csr_engine_matrix(small_store):
+    """(planner, csr) -> engine, all four toggle combinations."""
+    return {
+        (planner, csr): CypherEngine(small_store, planner=planner, csr_snapshot=csr)
+        for planner in (True, False)
+        for csr in (True, False)
+    }
+
+
+def _rows(result):
+    return [
+        tuple(render_value(value) for value in record.values())
+        for record in result.records
+    ]
+
+
+class TestCSREquivalenceOracle:
+    @pytest.mark.parametrize("shard", range(_ORACLE_SHARDS))
+    def test_gold_queries_bit_identical(
+        self, oracle_questions, csr_engine_matrix, shard
+    ):
+        questions = oracle_questions[shard::_ORACLE_SHARDS]
+        assert questions, "empty shard — CypherEval generation regressed"
+        for question in questions:
+            query = question.gold_cypher
+            reference = None
+            for planner in (True, False):
+                baseline = _rows(csr_engine_matrix[(planner, False)].run(query))
+                with_csr = _rows(csr_engine_matrix[(planner, True)].run(query))
+                # Within one planner setting the snapshot must be invisible:
+                # identical rows in identical order, no multiset slack.
+                assert with_csr == baseline, (query, planner)
+                if reference is None:
+                    reference = baseline
+                elif "ORDER BY" in query.upper():
+                    assert baseline == reference, query
+                else:
+                    assert sorted(baseline) == sorted(reference), query
+
+    @pytest.mark.parametrize("shard", [0, 2])
+    def test_profiled_runs_stay_identical(
+        self, oracle_questions, csr_engine_matrix, shard
+    ):
+        """PROFILE swaps fused part scans for per-hop CSR operators —
+        the observed plan must still produce the exact same rows."""
+        for question in oracle_questions[shard::_ORACLE_SHARDS]:
+            query = question.gold_cypher
+            plain = _rows(csr_engine_matrix[(True, True)].run(query))
+            profiled = csr_engine_matrix[(True, True)].execute(query, profile=True)
+            assert _rows(profiled) == plain, query
+
+
+class TestEdgeTopologies:
+    QUERIES = [
+        "MATCH (a:AS)-[:PEERS_WITH]->(b:AS) RETURN a.asn AS x, b.asn AS y ORDER BY x, y",
+        "MATCH (a:AS)-[:PEERS_WITH]-(b:AS)-[:COUNTRY]->(c:Country) "
+        "RETURN DISTINCT c.country_code AS cc",
+        "MATCH (a:AS)-[:PEERS_WITH*1..3]->(b:AS) RETURN count(DISTINCT b) AS n",
+        "MATCH (a:AS) RETURN count(*) AS n",
+    ]
+
+    def _assert_identical(self, store):
+        on = CypherEngine(store, csr_snapshot=True)
+        off = CypherEngine(store, csr_snapshot=False)
+        for query in self.QUERIES:
+            assert _rows(on.run(query)) == _rows(off.run(query)), query
+
+    def test_empty_graph(self):
+        self._assert_identical(GraphStore())
+
+    def test_self_loops_and_parallel_edges(self, diamond_store):
+        self._assert_identical(diamond_store)
+
+    def test_isolated_nodes(self):
+        store = GraphStore()
+        for asn in range(5):
+            store.create_node(["AS"], {"asn": asn})
+        self._assert_identical(store)
+
+
+# ---------------------------------------------------------------------------
+# Invalidation and concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestInvalidation:
+    def test_mutation_drops_snapshot_and_counts(self, diamond_store):
+        first = diamond_store.csr_snapshot()
+        assert diamond_store.csr_snapshot() is first  # cached
+        before = diamond_store.csr_metrics()
+        diamond_store.create_node(["AS"], {"asn": 50})
+        after_mutation = diamond_store.csr_metrics()
+        assert (
+            after_mutation["csr.invalidations"] == before["csr.invalidations"] + 1
+        )
+        second = diamond_store.csr_snapshot()
+        assert second is not first
+        assert second.version > first.version
+        assert after_mutation["csr.builds"] + 1 == diamond_store.csr_metrics()["csr.builds"]
+
+    def test_queries_see_mutations_immediately(self, diamond_store):
+        engine = CypherEngine(diamond_store, csr_snapshot=True)
+        count = "MATCH (a:AS) RETURN count(a) AS n"
+        base = engine.run(count).single()["n"]
+        diamond_store.create_node(["AS"], {"asn": 123})
+        assert engine.run(count).single()["n"] == base + 1
+        node = diamond_store.create_node(["AS"], {"asn": 124})
+        peer = next(iter(diamond_store.nodes_by_label("AS")))
+        diamond_store.create_relationship(node.node_id, "PEERS_WITH", peer.node_id)
+        two_hop = (
+            "MATCH (a:AS {asn: 124})-[:PEERS_WITH]-(b:AS) RETURN count(b) AS n"
+        )
+        assert engine.run(two_hop).single()["n"] == 1
+
+    def test_threaded_readers_survive_mutations(self, diamond_store):
+        """Readers race a writer: every result must be internally valid
+        (a count the store held at *some* point), with no errors and no
+        stale-snapshot leaks."""
+        engine = CypherEngine(diamond_store, csr_snapshot=True)
+        query = "MATCH (a:AS)-[:PEERS_WITH]-(b:AS) RETURN count(*) AS n"
+        errors: list[Exception] = []
+        observed: list[int] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    observed.append(engine.run(query).single()["n"])
+                except Exception as exc:  # pragma: no cover - the failure mode
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        anchor = next(iter(diamond_store.nodes_by_label("AS"))).node_id
+        for i in range(30):
+            node = diamond_store.create_node(["AS"], {"asn": 1000 + i})
+            diamond_store.create_relationship(
+                node.node_id, "PEERS_WITH", anchor
+            )
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors, errors
+        assert observed
+        final = engine.run(query).single()["n"]
+        assert max(observed) <= final
+
+
+# ---------------------------------------------------------------------------
+# Markers, metrics, config escape hatch
+# ---------------------------------------------------------------------------
+
+_CHAIN_QUERY = (
+    "MATCH (a:AS)-[:PEERS_WITH]-(b:AS)-[:COUNTRY]->(c:Country) "
+    "RETURN DISTINCT c.country_code AS cc"
+)
+
+
+def _profile_markers(node, found):
+    if node.get("marker"):
+        found.append((node["operator"], node["marker"]))
+    for child in node.get("children", ()):
+        _profile_markers(child, found)
+
+
+class TestMarkersAndMetrics:
+    def test_explain_marks_csr_parts(self, small_store):
+        on = CypherEngine(small_store, csr_snapshot=True)
+        off = CypherEngine(small_store, csr_snapshot=False)
+        assert "[csr]" in on.explain(_CHAIN_QUERY)
+        assert "[csr]" not in off.explain(_CHAIN_QUERY)
+
+    def test_profile_marks_csr_expand_operators(self, small_store):
+        engine = CypherEngine(small_store, csr_snapshot=True)
+        result = engine.execute(_CHAIN_QUERY, profile=True)
+        found: list = []
+        _profile_markers(result.profile, found)
+        assert ("Expand", "csr") in found
+        assert engine.csr_metrics()["csr.expand_operators"] >= 1
+
+    def test_part_scan_counter_in_unobserved_mode(self, small_store):
+        engine = CypherEngine(small_store, csr_snapshot=True)
+        # Defeat the anchored fast path (OPTIONAL MATCH lowers through the
+        # operator tree) so the fused part scan is what runs.
+        engine.run(
+            "OPTIONAL MATCH (a:AS)-[:PEERS_WITH]-(b:AS)-[:COUNTRY]->(c:Country) "
+            "RETURN count(c) AS n"
+        )
+        metrics = engine.csr_metrics()
+        assert metrics["csr.part_scans"] >= 1
+        assert metrics["csr.builds"] >= 1
+
+    def test_escape_hatch_disables_everything(self, small_store):
+        engine = CypherEngine(small_store, csr_snapshot=False)
+        engine.run(_CHAIN_QUERY)
+        metrics = engine.csr_metrics()
+        assert metrics["csr.part_scans"] == 0
+        assert metrics["csr.expand_operators"] == 0
+
+    def test_config_flag_reaches_engine(self, small_dataset):
+        from repro.core import ChatIYP
+
+        assert ChatIYPConfig().csr_snapshot is True
+        app = ChatIYP(
+            dataset=small_dataset,
+            config=ChatIYPConfig(dataset_size="small", csr_snapshot=False),
+        )
+        assert app.engine.csr is False
+        snapshot = app.serving_snapshot()
+        assert "csr" in snapshot
+
+    def test_serving_snapshot_carries_csr_counters(self, chatiyp_small):
+        chatiyp_small.engine.run(_CHAIN_QUERY)
+        counters = chatiyp_small.serving_snapshot()["csr"]
+        assert set(counters) >= {
+            "csr.builds",
+            "csr.build_failures",
+            "csr.hits",
+            "csr.invalidations",
+            "csr.expand_operators",
+            "csr.part_scans",
+        }
+
+    def test_write_queries_never_use_csr(self, diamond_store):
+        engine = CypherEngine(diamond_store, csr_snapshot=True)
+        engine.run("CREATE (n:AS {asn: 777}) RETURN n.asn")
+        engine.run(
+            "MATCH (a:AS {asn: 777}) CREATE (a)-[:PEERS_WITH]->(b:AS {asn: 778}) "
+            "RETURN b.asn"
+        )
+        # Write trees bypass the snapshot entirely: no part scans, no
+        # per-hop CSR operators, and the writes themselves landed.
+        metrics = engine.csr_metrics()
+        assert metrics["csr.part_scans"] == 0
+        assert metrics["csr.expand_operators"] == 0
+        assert (
+            engine.run("MATCH (a:AS {asn: 778}) RETURN count(a) AS n").single()["n"]
+            == 1
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fault degradation
+# ---------------------------------------------------------------------------
+
+
+class TestFaultDegradation:
+    def test_build_failure_degrades_to_dict_adjacency(self, diamond_store):
+        plan = FaultPlan(
+            seed=3,
+            name="csr-build-down",
+            specs=(
+                FaultSpec(site="graph.csr.build", kind="error", error="transient"),
+            ),
+        )
+        engine = CypherEngine(diamond_store, csr_snapshot=True)
+        with activated(plan):
+            diamond_store._touch()  # drop any cached snapshot
+            before = diamond_store.csr_metrics()["csr.build_failures"]
+            assert diamond_store.csr_snapshot() is None
+            assert (
+                diamond_store.csr_metrics()["csr.build_failures"] == before + 1
+            )
+            # The failed version is memoised: no retry storm, one counted
+            # failure per version.
+            assert diamond_store.csr_snapshot() is None
+            assert (
+                diamond_store.csr_metrics()["csr.build_failures"] == before + 1
+            )
+            rows = _rows(engine.run(_CHAIN_QUERY))
+        # Off the fault plan the next version builds again and agrees.
+        diamond_store._touch()
+        assert diamond_store.csr_snapshot() is not None
+        assert _rows(engine.run(_CHAIN_QUERY)) == rows
